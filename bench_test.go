@@ -1,0 +1,296 @@
+// Package gpucluster's top-level benchmarks regenerate each table and
+// figure of the paper (through the calibrated performance model) and
+// measure the functional simulators for real: one benchmark per
+// table/figure plus micro-benchmarks of the kernels the per-experiment
+// index in DESIGN.md references.
+//
+// Run: go test -bench=. -benchmem
+package gpucluster
+
+import (
+	"fmt"
+	"testing"
+
+	"gpucluster/internal/city"
+	"gpucluster/internal/cluster"
+	"gpucluster/internal/gpu"
+	"gpucluster/internal/lbm"
+	"gpucluster/internal/lbmgpu"
+	"gpucluster/internal/perfmodel"
+	"gpucluster/internal/sched"
+	"gpucluster/internal/sparse"
+	"gpucluster/internal/tracer"
+	"gpucluster/internal/vecmath"
+)
+
+var sub80 = [3]int{80, 80, 80}
+
+// sink defeats dead-code elimination.
+var sink interface{}
+
+// BenchmarkTable1 regenerates the Table 1 sweep (per-step CPU/GPU cluster
+// times for 1..32 nodes) through the performance model.
+func BenchmarkTable1(b *testing.B) {
+	h := perfmodel.Paper()
+	for i := 0; i < b.N; i++ {
+		sink = h.FixedSubDomainSweep(perfmodel.PaperNodeCounts, sub80)
+	}
+}
+
+// BenchmarkTable2 regenerates the throughput/efficiency table.
+func BenchmarkTable2(b *testing.B) {
+	h := perfmodel.Paper()
+	for i := 0; i < b.N; i++ {
+		sink = perfmodel.Throughput(h.FixedSubDomainSweep(perfmodel.PaperNodeCounts, sub80))
+	}
+}
+
+// BenchmarkFig8NetworkSeries regenerates the Figure 8 network-time split.
+func BenchmarkFig8NetworkSeries(b *testing.B) {
+	h := perfmodel.Paper()
+	for i := 0; i < b.N; i++ {
+		rows := h.FixedSubDomainSweep(perfmodel.PaperNodeCounts, sub80)
+		total := 0.0
+		for _, r := range rows {
+			total += r.NetTotal.Seconds() - r.NetNonOverlap.Seconds()
+		}
+		sink = total
+	}
+}
+
+// BenchmarkFig9SpeedupSeries regenerates the Figure 9 speedup curve.
+func BenchmarkFig9SpeedupSeries(b *testing.B) {
+	h := perfmodel.Paper()
+	for i := 0; i < b.N; i++ {
+		rows := h.FixedSubDomainSweep(perfmodel.PaperNodeCounts, sub80)
+		s := 0.0
+		for _, r := range rows {
+			s += r.Speedup
+		}
+		sink = s
+	}
+}
+
+// BenchmarkFig10EfficiencySeries regenerates the Figure 10 curve.
+func BenchmarkFig10EfficiencySeries(b *testing.B) {
+	h := perfmodel.Paper()
+	for i := 0; i < b.N; i++ {
+		rows := perfmodel.Throughput(h.FixedSubDomainSweep(perfmodel.PaperNodeCounts, sub80))
+		e := 0.0
+		for _, r := range rows {
+			e += r.Efficiency
+		}
+		sink = e
+	}
+}
+
+// BenchmarkStrongScaling regenerates the Section 4.4 fixed-problem sweep.
+func BenchmarkStrongScaling(b *testing.B) {
+	h := perfmodel.Paper()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.StrongScaling([3]int{160, 160, 80}, []int{4, 8, 16, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = rows
+	}
+}
+
+// BenchmarkAblations runs the four design-choice ablations (A1-A4).
+func BenchmarkAblations(b *testing.B) {
+	h := perfmodel.Paper()
+	nodes := []int{4, 16, 32}
+	for i := 0; i < b.N; i++ {
+		sink = h.AblationDiagonal(nodes, sub80)
+		sink = h.AblationBarrier(nodes, sub80)
+		sink = h.AblationPCIe(nodes, sub80)
+		sink = h.AblationShape(8)
+	}
+}
+
+// BenchmarkSingleNodeCPUStep measures the real CPU reference step (the
+// functional analog of Table 1's CPU column, scaled to 32^3).
+func BenchmarkSingleNodeCPUStep(b *testing.B) {
+	l := lbm.New(32, 32, 32, 0.8)
+	l.Init(1, vecmath.Vec3{0.02, 0, 0})
+	b.SetBytes(int64(l.Cells()) * lbm.Q * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+	b.ReportMetric(float64(l.Cells())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+// BenchmarkSingleNodeGPUStep measures the simulated-GPU step (the
+// functional analog of Table 1's GPU computation column, scaled to 16^3;
+// the simulated GPU pays interpreter overhead per fragment).
+func BenchmarkSingleNodeGPUStep(b *testing.B) {
+	host := lbm.New(16, 16, 16, 0.8)
+	host.Init(1, vecmath.Vec3{0.02, 0, 0})
+	sim, err := lbmgpu.New(gpu.New(gpu.Config{TextureMemory: 256 << 20}), host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noop := func(int) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(noop)
+	}
+	b.ReportMetric(float64(16*16*16)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+// BenchmarkClusterStep measures the functional parallel LBM across node
+// counts (weak scaling, 16^3 per node — the laptop-scale Table 1).
+func BenchmarkClusterStep(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			g := sched.Arrange2D(nodes)
+			cfg := cluster.Config{
+				Global: [3]int{16 * g.PX, 16 * g.PY, 16},
+				Grid:   g,
+				Tau:    0.8,
+			}
+			cfg.Faces[lbm.FaceXNeg] = lbm.FaceSpec{Type: lbm.Inlet, U: vecmath.Vec3{0.03, 0, 0}}
+			cfg.Faces[lbm.FaceXPos] = lbm.FaceSpec{Type: lbm.Outflow}
+			sim, err := cluster.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cells := float64(cfg.Global[0] * cfg.Global[1] * cfg.Global[2])
+			b.ResetTimer()
+			sim.Run(b.N)
+			b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+		})
+	}
+}
+
+// BenchmarkCollisionKernel measures the BGK and MRT collision operators.
+func BenchmarkCollisionKernel(b *testing.B) {
+	var f, post, feq [lbm.Q]float32
+	lbm.Feq(&f, 1, 0.05, 0.01, -0.02)
+	b.Run("BGK", func(b *testing.B) {
+		omega := float32(1 / 0.8)
+		for i := 0; i < b.N; i++ {
+			rho, ux, uy, uz := lbm.Moments(&f)
+			lbm.Feq(&feq, rho, ux, uy, uz)
+			for k := 0; k < lbm.Q; k++ {
+				post[k] = f[k] - omega*(f[k]-feq[k])
+			}
+		}
+		sink = post
+	})
+	b.Run("MRT", func(b *testing.B) {
+		mrt := lbm.NewMRT(0.8)
+		for i := 0; i < b.N; i++ {
+			rho, ux, uy, uz := lbm.Moments(&f)
+			mrt.Collide(&f, &post, rho, ux, uy, uz)
+		}
+		sink = post
+	})
+}
+
+// BenchmarkBorderExchange measures the pack/exchange/unpack cycle the
+// cluster performs each step (one 32^2 face).
+func BenchmarkBorderExchange(b *testing.B) {
+	l := lbm.New(32, 32, 32, 0.8)
+	l.Init(1, vecmath.Vec3{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := l.PackBorder(0, +1)
+		l.UnpackGhost(0, -1, data)
+	}
+}
+
+// BenchmarkGPUBorderGather measures the paper's border-gather pass plus
+// single read-back on the simulated GPU.
+func BenchmarkGPUBorderGather(b *testing.B) {
+	host := lbm.New(24, 24, 24, 0.8)
+	host.Init(1, vecmath.Vec3{})
+	sim, err := lbmgpu.New(gpu.New(gpu.Config{TextureMemory: 512 << 20}), host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = sim.PackBorder(0, +1)
+	}
+}
+
+// BenchmarkGPUPass measures a raw fragment-program pass (gather stencil
+// over 256x256).
+func BenchmarkGPUPass(b *testing.B) {
+	dev := gpu.New(gpu.Config{TextureMemory: 64 << 20})
+	tex, _ := dev.NewTexture2D("t", 256, 256)
+	pb, _ := dev.NewPBuffer("p", 256, 256)
+	prog := func(t []gpu.Sampler, x, y int) vecmath.Vec4 {
+		return t[0].Fetch(x-1, y).Add(t[0].Fetch(x+1, y)).Scale(0.5)
+	}
+	b.SetBytes(256 * 256 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.Run(gpu.Pass{Target: pb, Textures: []gpu.Sampler{tex}, Program: prog}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispersionTracer measures tracer propagation (Section 5).
+func BenchmarkDispersionTracer(b *testing.B) {
+	l := lbm.New(48, 32, 16, 0.8)
+	l.Init(1, vecmath.Vec3{0.05, 0, 0})
+	field := tracer.FromLattice(l)
+	cloud := tracer.NewCloud(1)
+	cloud.Release(4, 16, 8, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cloud.Step(field)
+	}
+	b.ReportMetric(1e4*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mparticles/s")
+}
+
+// BenchmarkCityVoxelize measures the urban-model rasterization.
+func BenchmarkCityVoxelize(b *testing.B) {
+	c := city.Generate(city.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.Voxelize(120, 100, 40, 15)
+	}
+}
+
+// BenchmarkCGPoisson measures the serial CG solve (Section 6 solvers).
+func BenchmarkCGPoisson(b *testing.B) {
+	a := sparse.Poisson2D(24)
+	x := make([]float32, a.Rows)
+	for i := range x {
+		x[i] = float32(i % 7)
+	}
+	rhs := a.MulVec(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st := sparse.CG(a, rhs, 1e-6, 2000)
+		if !st.Converged {
+			b.Fatal("CG failed")
+		}
+	}
+}
+
+// BenchmarkGPUMatVec measures the indirection-texture sparse matvec.
+func BenchmarkGPUMatVec(b *testing.B) {
+	dev := gpu.New(gpu.Config{TextureMemory: 128 << 20})
+	a := sparse.Poisson2D(32)
+	g, err := sparse.NewGPUMatVec(dev, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Free()
+	x := make([]float32, a.Cols)
+	for i := range x {
+		x[i] = float32(i%13) * 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.MulVec(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command citygen generates the synthetic Times Square district and
+// reports its statistics next to the paper's, optionally writing a
+// footprint map as PPM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpucluster/internal/city"
+	"gpucluster/internal/vis"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 2004, "generator seed")
+		nx      = flag.Int("nx", 480, "lattice cells in x")
+		ny      = flag.Int("ny", 400, "lattice cells in y")
+		nz      = flag.Int("nz", 80, "lattice cells in z")
+		spacing = flag.Float64("spacing", 3.8, "lattice spacing in meters")
+		imgPath = flag.String("image", "", "write a footprint PPM here")
+	)
+	flag.Parse()
+
+	c := city.Generate(city.Config{Seed: *seed})
+	fmt.Printf("district: %.2f km x %.2f km (paper: 1.66 x 1.13)\n", c.WidthM/1000, c.DepthM/1000)
+	fmt.Printf("blocks:   %d (paper: 91)\n", c.Blocks)
+	fmt.Printf("buildings: %d (paper: ~850), tallest %.0f m\n", len(c.Buildings), c.MaxHeight())
+
+	v := c.Voxelize(*nx, *ny, *nz, *spacing)
+	fmt.Printf("lattice:  %dx%dx%d at %.1f m (paper: 480x400x80 at 3.8 m)\n", *nx, *ny, *nz, *spacing)
+	fmt.Printf("footprint coverage: %.1f%% of ground cells, %.1f%% of volume solid\n",
+		100*v.FootprintFraction(), 100*v.SolidFraction())
+
+	if *imgPath != "" {
+		im := vis.NewImage(*nx, *ny)
+		for y := 0; y < *ny; y++ {
+			for x := 0; x < *nx; x++ {
+				if v.IsSolid(x, y, 0) {
+					// Shade by the building height at this column.
+					h := 0
+					for z := 0; z < *nz && v.IsSolid(x, y, z); z++ {
+						h = z
+					}
+					g := uint8(90 + 165*h / *nz)
+					im.Set(x, y, vis.RGB{R: g, G: g, B: g})
+				}
+			}
+		}
+		out, err := os.Create(*imgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := im.WritePPM(out); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *imgPath)
+	}
+}

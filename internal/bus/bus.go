@@ -1,0 +1,111 @@
+// Package bus models the host<->GPU transfer path. The paper's cluster
+// used AGP 8x, whose defining property is asymmetry: 2.1 GB/s peak
+// downstream (toward the GPU) but only 133 MB/s peak upstream (toward the
+// host). That asymmetry is why the parallel LBM gathers all border texels
+// into a single texture before reading back — read-backs are precious.
+// The paper anticipates PCI-Express (4 GB/s symmetric), which package
+// perfmodel uses for the ablation experiment A4.
+//
+// The bus is a cost model: each transfer records its modeled duration
+// (fixed per-operation latency plus size over peak bandwidth, derated by
+// an efficiency factor) into running totals. No real waiting happens; the
+// virtual times feed the performance model while the data themselves are
+// moved by ordinary Go copies in package gpu.
+package bus
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats accumulates transfer accounting for one direction.
+type Stats struct {
+	Ops   int64         // transfer operations issued
+	Bytes int64         // payload bytes moved
+	Time  time.Duration // modeled time spent
+}
+
+// Bus models one host<->device interconnect.
+type Bus struct {
+	// Name identifies the interconnect standard.
+	Name string
+	// DownBandwidth is the peak host->device rate in bytes/second.
+	DownBandwidth float64
+	// UpBandwidth is the peak device->host rate in bytes/second.
+	UpBandwidth float64
+	// Efficiency derates peak bandwidth to achievable throughput
+	// (protocol overhead, small-transfer setup); 0 < Efficiency <= 1.
+	Efficiency float64
+	// OpLatency is the fixed cost of initiating one transfer (driver
+	// call, AGP transaction setup). Minimizing the number of read
+	// operations — the paper's single glGetTexImage after a gather
+	// pass — minimizes how often this is paid.
+	OpLatency time.Duration
+
+	// Down and Up accumulate per-direction statistics.
+	Down, Up Stats
+}
+
+// AGP8x returns the paper's AGP 8x bus model.
+func AGP8x() *Bus {
+	return &Bus{
+		Name:          "AGP 8x",
+		DownBandwidth: 2.1e9,
+		UpBandwidth:   133e6,
+		Efficiency:    0.8,
+		OpLatency:     200 * time.Microsecond,
+	}
+}
+
+// PCIe16x returns the x16 PCI-Express model the paper anticipates:
+// 4 GB/s in both directions.
+func PCIe16x() *Bus {
+	return &Bus{
+		Name:          "PCI-Express x16",
+		DownBandwidth: 4.0e9,
+		UpBandwidth:   4.0e9,
+		Efficiency:    0.8,
+		OpLatency:     150 * time.Microsecond,
+	}
+}
+
+// transferTime returns the modeled duration for moving n bytes at the
+// given peak bandwidth.
+func (b *Bus) transferTime(n int64, bandwidth float64) time.Duration {
+	eff := b.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	seconds := float64(n) / (bandwidth * eff)
+	return b.OpLatency + time.Duration(seconds*float64(time.Second))
+}
+
+// Download records a host->device transfer of n bytes and returns its
+// modeled duration.
+func (b *Bus) Download(n int64) time.Duration {
+	d := b.transferTime(n, b.DownBandwidth)
+	b.Down.Ops++
+	b.Down.Bytes += n
+	b.Down.Time += d
+	return d
+}
+
+// Upload records a device->host transfer of n bytes and returns its
+// modeled duration.
+func (b *Bus) Upload(n int64) time.Duration {
+	d := b.transferTime(n, b.UpBandwidth)
+	b.Up.Ops++
+	b.Up.Bytes += n
+	b.Up.Time += d
+	return d
+}
+
+// Reset zeroes the accumulated statistics.
+func (b *Bus) Reset() {
+	b.Down = Stats{}
+	b.Up = Stats{}
+}
+
+func (b *Bus) String() string {
+	return fmt.Sprintf("%s (down %.2g B/s, up %.2g B/s)", b.Name, b.DownBandwidth, b.UpBandwidth)
+}

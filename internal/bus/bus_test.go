@@ -1,0 +1,86 @@
+package bus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAGPAsymmetry(t *testing.T) {
+	b := AGP8x()
+	const n = 10 << 20 // 10 MB
+	down := b.Download(n)
+	up := b.Upload(n)
+	if up <= down {
+		t.Fatalf("AGP upstream (%v) should be much slower than downstream (%v)", up, down)
+	}
+	// 2.1 GB/s vs 133 MB/s is a ~15.8x ratio; with shared latency the
+	// modeled ratio for a large transfer should still exceed 10x.
+	if float64(up) < 10*float64(down) {
+		t.Fatalf("asymmetry ratio too small: up %v, down %v", up, down)
+	}
+}
+
+func TestPCIeSymmetry(t *testing.T) {
+	b := PCIe16x()
+	const n = 10 << 20
+	down := b.Download(n)
+	up := b.Upload(n)
+	ratio := float64(up) / float64(down)
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("PCIe should be symmetric, got up %v, down %v", up, down)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := AGP8x()
+	b.Download(100)
+	b.Download(200)
+	b.Upload(50)
+	if b.Down.Ops != 2 || b.Down.Bytes != 300 {
+		t.Errorf("down stats = %+v, want 2 ops / 300 bytes", b.Down)
+	}
+	if b.Up.Ops != 1 || b.Up.Bytes != 50 {
+		t.Errorf("up stats = %+v, want 1 op / 50 bytes", b.Up)
+	}
+	if b.Down.Time <= 0 || b.Up.Time <= 0 {
+		t.Errorf("times should be positive: %+v %+v", b.Down, b.Up)
+	}
+	b.Reset()
+	if b.Down != (Stats{}) || b.Up != (Stats{}) {
+		t.Errorf("Reset left stats %+v %+v", b.Down, b.Up)
+	}
+}
+
+func TestOpLatencyDominatesSmallTransfers(t *testing.T) {
+	b := AGP8x()
+	small := b.Upload(16) // one texel
+	if small < b.OpLatency {
+		t.Fatalf("small transfer %v should cost at least the op latency %v", small, b.OpLatency)
+	}
+	// Two small ops should cost about twice one op; a single combined op
+	// should be cheaper — this is the motivation for the gather pass.
+	b.Reset()
+	two := b.Upload(16) + b.Upload(16)
+	b.Reset()
+	one := b.Upload(32)
+	if one >= two {
+		t.Fatalf("batched transfer (%v) should beat two ops (%v)", one, two)
+	}
+}
+
+func TestUploadTimeScalesWithSize(t *testing.T) {
+	b := AGP8x()
+	t1 := b.Upload(1 << 20)
+	t16 := b.Upload(16 << 20)
+	if t16 < 8*t1 { // roughly linear once past the fixed latency
+		t.Fatalf("16 MB (%v) should take ~16x 1 MB (%v)", t16, t1)
+	}
+}
+
+func TestBadEfficiencyFallsBackToPeak(t *testing.T) {
+	b := &Bus{Name: "x", DownBandwidth: 1e9, UpBandwidth: 1e9, Efficiency: 0}
+	d := b.Download(1e9)
+	if d < 900*time.Millisecond || d > 1100*time.Millisecond {
+		t.Fatalf("1 GB at 1 GB/s should be ~1s, got %v", d)
+	}
+}

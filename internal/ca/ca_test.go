@@ -1,0 +1,166 @@
+package ca
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpucluster/internal/gpu"
+)
+
+func blinker(g *Grid, x, y int) {
+	g.Set(x-1, y, 1)
+	g.Set(x, y, 1)
+	g.Set(x+1, y, 1)
+}
+
+func glider(g *Grid, x, y int) {
+	g.Set(x+1, y, 1)
+	g.Set(x+2, y+1, 1)
+	g.Set(x, y+2, 1)
+	g.Set(x+1, y+2, 1)
+	g.Set(x+2, y+2, 1)
+}
+
+func boardsEqual(a, b *Grid) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.cells {
+		if a.cells[i] != b.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBlinkerOscillates(t *testing.T) {
+	g := NewGrid(8, 8)
+	blinker(g, 4, 4)
+	g.Step()
+	// Horizontal blinker becomes vertical.
+	if !g.Alive(4, 3) || !g.Alive(4, 4) || !g.Alive(4, 5) {
+		t.Fatal("blinker did not rotate")
+	}
+	if g.Alive(3, 4) || g.Alive(5, 4) {
+		t.Fatal("old arms survived")
+	}
+	g.Step()
+	if !g.Alive(3, 4) || !g.Alive(4, 4) || !g.Alive(5, 4) {
+		t.Fatal("blinker did not return after period 2")
+	}
+	if g.Population() != 3 {
+		t.Fatalf("population = %d", g.Population())
+	}
+}
+
+func TestGliderTranslates(t *testing.T) {
+	g := NewGrid(16, 16)
+	glider(g, 2, 2)
+	for i := 0; i < 4; i++ {
+		g.Step()
+	}
+	// After 4 generations a glider moves (+1, +1).
+	want := NewGrid(16, 16)
+	glider(want, 3, 3)
+	if !boardsEqual(g, want) {
+		t.Fatal("glider did not translate by (1,1) after 4 generations")
+	}
+}
+
+func TestToroidalWrap(t *testing.T) {
+	g := NewGrid(8, 8)
+	// Horizontal blinker straddling the x seam: arms at 7, 0, 1.
+	g.Set(7, 4, 1)
+	g.Set(0, 4, 1)
+	g.Set(1, 4, 1)
+	if g.at(-1, 4) != g.at(7, 4) {
+		t.Fatal("wrap read broken")
+	}
+	g.Step()
+	if !g.Alive(0, 3) || !g.Alive(0, 4) || !g.Alive(0, 5) {
+		t.Fatal("blinker across the seam did not oscillate")
+	}
+}
+
+func TestGPUMatchesCPU(t *testing.T) {
+	dev := gpu.New(gpu.Config{TextureMemory: 16 << 20, Workers: 4})
+	cpu := NewGrid(32, 24)
+	rng := rand.New(rand.NewSource(11))
+	for i := range cpu.cells {
+		if rng.Float64() < 0.3 {
+			cpu.cells[i] = 1
+		}
+	}
+	gg, err := NewGPUGrid(dev, 32, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gg.Upload(cpu); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 20; s++ {
+		cpu.Step()
+		if err := gg.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := gg.Download()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !boardsEqual(cpu, got) {
+		t.Fatal("GPU board diverged from CPU after 20 generations")
+	}
+	if dev.Stats.Passes != 20 {
+		t.Errorf("passes = %d, want 20 (one per generation)", dev.Stats.Passes)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func() *Grid {
+		g := NewGrid(24, 24)
+		r := rand.New(rand.NewSource(5))
+		for i := range g.cells {
+			if r.Float64() < 0.35 {
+				g.cells[i] = 1
+			}
+		}
+		return g
+	}
+	_ = rng
+	serial := mk()
+	for s := 0; s < 16; s++ {
+		serial.Step()
+	}
+	for _, ranks := range []int{1, 2, 3, 4, 6} {
+		par := ParallelSteps(mk(), ranks, 16)
+		if !boardsEqual(serial, par) {
+			t.Fatalf("%d-rank parallel run diverged from serial", ranks)
+		}
+	}
+}
+
+func TestParallelGliderAcrossStripBorders(t *testing.T) {
+	// A glider crossing strip boundaries exercises the ghost exchange.
+	start := NewGrid(16, 16)
+	glider(start, 6, 2)
+	serial := NewGrid(16, 16)
+	glider(serial, 6, 2)
+	for s := 0; s < 40; s++ {
+		serial.Step()
+	}
+	par := ParallelSteps(start, 4, 40)
+	if !boardsEqual(serial, par) {
+		t.Fatal("glider lost crossing strip borders")
+	}
+}
+
+func TestInvalidGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGrid(0, 5)
+}

@@ -1,0 +1,122 @@
+package city
+
+import "testing"
+
+func TestGenerateMatchesPaperStatistics(t *testing.T) {
+	c := Generate(Config{})
+	if c.Blocks != 91 {
+		t.Errorf("blocks = %d, want 91 (the paper's Times Square area)", c.Blocks)
+	}
+	// "roughly 850 buildings"
+	if n := len(c.Buildings); n < 780 || n < 700 || n > 920 {
+		t.Errorf("buildings = %d, want ~850", n)
+	}
+	if c.WidthM != 1660 || c.DepthM != 1130 {
+		t.Errorf("extent = %v x %v, want 1660 x 1130", c.WidthM, c.DepthM)
+	}
+	if h := c.MaxHeight(); h < 100 || h > 280 {
+		t.Errorf("max height = %.0f m, want a tower in 100..280", h)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7})
+	b := Generate(Config{Seed: 7})
+	if len(a.Buildings) != len(b.Buildings) {
+		t.Fatalf("nondeterministic: %d vs %d buildings", len(a.Buildings), len(b.Buildings))
+	}
+	for i := range a.Buildings {
+		if a.Buildings[i] != b.Buildings[i] {
+			t.Fatalf("building %d differs", i)
+		}
+	}
+	c := Generate(Config{Seed: 8})
+	same := len(a.Buildings) == len(c.Buildings)
+	if same {
+		same = a.Buildings[0] == c.Buildings[0]
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBuildingsInsideDistrict(t *testing.T) {
+	c := Generate(Config{})
+	for i, b := range c.Buildings {
+		if b.X0 < 0 || b.Y0 < 0 || b.X1 > c.WidthM || b.Y1 > c.DepthM {
+			t.Fatalf("building %d outside district: %+v", i, b)
+		}
+		if b.X0 >= b.X1 || b.Y0 >= b.Y1 || b.Height <= 0 {
+			t.Fatalf("degenerate building %d: %+v", i, b)
+		}
+	}
+}
+
+func TestVoxelizePaperResolution(t *testing.T) {
+	// The paper: 480x400x80 lattice at 3.8 m, city occupying about
+	// 440x300 cells on the ground.
+	c := Generate(Config{})
+	v := c.Voxelize(480, 400, 80, 3.8)
+	cityCellsX := int(c.WidthM / 3.8)
+	cityCellsY := int(c.DepthM / 3.8)
+	if cityCellsX < 420 || cityCellsX > 450 {
+		t.Errorf("city x extent = %d cells, want ~437 (paper: 440)", cityCellsX)
+	}
+	if cityCellsY < 290 || cityCellsY > 310 {
+		t.Errorf("city y extent = %d cells, want ~297 (paper: 300)", cityCellsY)
+	}
+	fp := v.FootprintFraction()
+	if fp < 0.2 || fp > 0.6 {
+		t.Errorf("footprint fraction = %.2f, want dense urban coverage", fp)
+	}
+	sf := v.SolidFraction()
+	if sf <= 0 || sf >= fp {
+		t.Errorf("solid fraction %.3f must be positive and below footprint %.3f", sf, fp)
+	}
+	// Streets must exist: some ground row fully crossing the city has
+	// fluid cells (avenues).
+	fluidGround := 0
+	for x := 0; x < 480; x++ {
+		if !v.IsSolid(x, 200, 0) {
+			fluidGround++
+		}
+	}
+	if fluidGround == 0 {
+		t.Error("no fluid cells at ground level — streets missing")
+	}
+}
+
+func TestVoxelizationBounds(t *testing.T) {
+	c := Generate(Config{})
+	v := c.Voxelize(100, 80, 20, 20)
+	if v.IsSolid(-1, 0, 0) || v.IsSolid(100, 0, 0) || v.IsSolid(0, 0, 20) {
+		t.Error("out-of-range cells must be fluid")
+	}
+	// Geometry closure agrees with IsSolid.
+	g := v.Geometry()
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 80; y += 7 {
+			for x := 0; x < 100; x += 7 {
+				if g(x, y, z) != v.IsSolid(x, y, z) {
+					t.Fatalf("geometry mismatch at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestSolidColumnsMonotoneInZ(t *testing.T) {
+	// Buildings are extruded footprints: if a cell is solid, the cell
+	// below is too.
+	c := Generate(Config{})
+	v := c.Voxelize(120, 100, 40, 15)
+	for z := 1; z < 40; z++ {
+		for y := 0; y < 100; y++ {
+			for x := 0; x < 120; x++ {
+				if v.IsSolid(x, y, z) && !v.IsSolid(x, y, z-1) {
+					t.Fatalf("floating solid at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}

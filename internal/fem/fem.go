@@ -1,0 +1,159 @@
+// Package fem assembles P1 (linear triangle) finite element systems for
+// the Poisson problem -laplacian(u) = f on the unit square with
+// homogeneous Dirichlet boundaries — the FEM workload Section 6 proposes
+// for the GPU cluster. The assembled stiffness matrix is SPD and sparse;
+// it is solved with the solvers of package sparse, including the
+// distributed conjugate gradient whose matrix and vector decomposition
+// follows Figure 15 of the paper.
+package fem
+
+import (
+	"fmt"
+	"math"
+
+	"gpucluster/internal/sparse"
+)
+
+// Mesh is a structured triangulation of the unit square: (n+1)^2 nodes,
+// 2*n^2 triangles (each grid cell split along its diagonal).
+type Mesh struct {
+	N     int // cells per side
+	Nodes [][2]float64
+	Tris  [][3]int
+}
+
+// NewUnitSquareMesh builds the structured triangulation.
+func NewUnitSquareMesh(n int) *Mesh {
+	if n < 1 {
+		panic(fmt.Sprintf("fem: invalid mesh size %d", n))
+	}
+	m := &Mesh{N: n}
+	for j := 0; j <= n; j++ {
+		for i := 0; i <= n; i++ {
+			m.Nodes = append(m.Nodes, [2]float64{float64(i) / float64(n), float64(j) / float64(n)})
+		}
+	}
+	id := func(i, j int) int { return j*(n+1) + i }
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			m.Tris = append(m.Tris,
+				[3]int{id(i, j), id(i+1, j), id(i, j+1)},
+				[3]int{id(i+1, j), id(i+1, j+1), id(i, j+1)})
+		}
+	}
+	return m
+}
+
+// Boundary reports whether a node lies on the square's boundary.
+func (m *Mesh) Boundary(node int) bool {
+	i := node % (m.N + 1)
+	j := node / (m.N + 1)
+	return i == 0 || i == m.N || j == 0 || j == m.N
+}
+
+// triArea returns the signed area of a triangle.
+func triArea(a, b, c [2]float64) float64 {
+	return 0.5 * ((b[0]-a[0])*(c[1]-a[1]) - (c[0]-a[0])*(b[1]-a[1]))
+}
+
+// System is the assembled linear system for interior nodes.
+type System struct {
+	Mesh *Mesh
+	// A is the stiffness matrix over interior nodes.
+	A *sparse.CSR
+	// B is the load vector.
+	B []float32
+	// InteriorID maps global node -> interior unknown (-1 on boundary).
+	InteriorID []int
+	// Interior lists the global node of each unknown.
+	Interior []int
+}
+
+// Assemble builds the stiffness matrix and load vector for the source
+// term f, eliminating Dirichlet boundary nodes.
+func Assemble(m *Mesh, f func(x, y float64) float64) *System {
+	s := &System{Mesh: m, InteriorID: make([]int, len(m.Nodes))}
+	for n := range m.Nodes {
+		if m.Boundary(n) {
+			s.InteriorID[n] = -1
+		} else {
+			s.InteriorID[n] = len(s.Interior)
+			s.Interior = append(s.Interior, n)
+		}
+	}
+	nUnk := len(s.Interior)
+	if nUnk == 0 {
+		panic("fem: mesh has no interior nodes; refine it")
+	}
+	s.B = make([]float32, nUnk)
+	var tr []sparse.Triplet
+	for _, t := range m.Tris {
+		a, b, c := m.Nodes[t[0]], m.Nodes[t[1]], m.Nodes[t[2]]
+		area := triArea(a, b, c)
+		// Gradients of the P1 basis functions.
+		grads := [3][2]float64{
+			{(b[1] - c[1]) / (2 * area), (c[0] - b[0]) / (2 * area)},
+			{(c[1] - a[1]) / (2 * area), (a[0] - c[0]) / (2 * area)},
+			{(a[1] - b[1]) / (2 * area), (b[0] - a[0]) / (2 * area)},
+		}
+		for i := 0; i < 3; i++ {
+			gi := s.InteriorID[t[i]]
+			if gi < 0 {
+				continue
+			}
+			for j := 0; j < 3; j++ {
+				gj := s.InteriorID[t[j]]
+				if gj < 0 {
+					continue
+				}
+				k := area * (grads[i][0]*grads[j][0] + grads[i][1]*grads[j][1])
+				tr = append(tr, sparse.Triplet{Row: gi, Col: gj, Val: float32(k)})
+			}
+			// Load: one-point quadrature at the centroid.
+			cx := (a[0] + b[0] + c[0]) / 3
+			cy := (a[1] + b[1] + c[1]) / 3
+			s.B[gi] += float32(f(cx, cy) * area / 3)
+		}
+	}
+	s.A = sparse.NewCSR(nUnk, nUnk, tr)
+	return s
+}
+
+// Solve runs conjugate gradients on the assembled system and returns the
+// full nodal solution (zeros on the boundary).
+func (s *System) Solve(tol float64, maxIter int) ([]float64, sparse.SolveStats) {
+	x, st := sparse.CG(s.A, s.B, tol, maxIter)
+	return s.expand(x), st
+}
+
+// expand scatters interior unknowns to the full node set.
+func (s *System) expand(x []float32) []float64 {
+	u := make([]float64, len(s.Mesh.Nodes))
+	for k, node := range s.Interior {
+		u[node] = float64(x[k])
+	}
+	return u
+}
+
+// MaxError compares a nodal solution against an analytic field.
+func (s *System) MaxError(u []float64, exact func(x, y float64) float64) float64 {
+	var maxErr float64
+	for n, p := range s.Mesh.Nodes {
+		if e := math.Abs(u[n] - exact(p[0], p[1])); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+// ManufacturedSolution returns the canonical test problem: the exact
+// solution u = sin(pi x) sin(pi y) with source f = 2 pi^2 u.
+func ManufacturedSolution() (f, exact func(x, y float64) float64) {
+	exact = func(x, y float64) float64 {
+		return math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+	}
+	f = func(x, y float64) float64 {
+		return 2 * math.Pi * math.Pi * exact(x, y)
+	}
+	return
+}

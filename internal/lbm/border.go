@@ -1,0 +1,135 @@
+package lbm
+
+// Border pack/unpack for the cluster decomposition of Section 4.3. A node
+// sends, for each of its faces, the post-collision distributions that
+// stream out of its sub-domain: the 5 directions with a positive velocity
+// component toward the neighbor, evaluated on the border plane. The
+// y-plane includes the x ghost columns and the z-plane includes both x
+// and y ghosts, so diagonal (second-nearest-neighbor) data are routed
+// indirectly through axial exchanges in two hops — the paper's Figure 7
+// pattern. For a cubic N^3 sub-domain the x payload is 5*N^2 floats, and
+// the y/z payloads carry the extra c*N ghost-column floats the paper
+// accounts as the "c/(5N)" packet-size increase.
+
+// DirsInto returns the distribution indices with C[i][dim] == dir
+// (dir is +1 or -1); these are the 5 directions crossing a face.
+func DirsInto(dim, dir int) []int {
+	var out []int
+	for i := 0; i < Q; i++ {
+		if C[i][dim] == dir {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// borderPlane iterates the (a, b) coordinates of the plane perpendicular
+// to dim, honoring the dimension-ordered ghost inclusion: x planes span
+// the interior, y planes include x ghosts, z planes include x and y
+// ghosts. visit receives the two in-plane coordinates.
+func (l *Lattice) borderPlane(dim int, visit func(a, b int)) {
+	switch dim {
+	case 0:
+		for z := 0; z < l.NZ; z++ {
+			for y := 0; y < l.NY; y++ {
+				visit(y, z)
+			}
+		}
+	case 1:
+		for z := 0; z < l.NZ; z++ {
+			for x := -1; x <= l.NX; x++ {
+				visit(x, z)
+			}
+		}
+	default:
+		for y := -1; y <= l.NY; y++ {
+			for x := -1; x <= l.NX; x++ {
+				visit(x, y)
+			}
+		}
+	}
+}
+
+// planeIdx maps in-plane coordinates (a, b) and the plane coordinate c to
+// a cell index for the given dimension.
+func (l *Lattice) planeIdx(dim, c, a, b int) int {
+	switch dim {
+	case 0:
+		return l.Idx(c, a, b)
+	case 1:
+		return l.Idx(a, c, b)
+	default:
+		return l.Idx(a, b, c)
+	}
+}
+
+// BorderLen returns the float count of one border message for dim.
+func (l *Lattice) BorderLen(dim int) int {
+	switch dim {
+	case 0:
+		return 5 * l.NY * l.NZ
+	case 1:
+		return 5 * (l.NX + 2) * l.NZ
+	default:
+		return 5 * (l.NX + 2) * (l.NY + 2)
+	}
+}
+
+// PackBorder collects the post-collision distributions leaving the
+// sub-domain through the dim/dir face (dir = +1 for the high face, -1 for
+// the low face) into a flat slice ready for transmission.
+func (l *Lattice) PackBorder(dim, dir int) []float32 {
+	dists := DirsInto(dim, dir)
+	plane := l.NX - 1 // high border plane coordinate
+	if dir < 0 {
+		plane = 0
+	} else {
+		switch dim {
+		case 1:
+			plane = l.NY - 1
+		case 2:
+			plane = l.NZ - 1
+		}
+	}
+	out := make([]float32, 0, l.BorderLen(dim))
+	l.borderPlane(dim, func(a, b int) {
+		c := l.planeIdx(dim, plane, a, b)
+		for _, i := range dists {
+			out = append(out, l.Post[i][c])
+		}
+	})
+	return out
+}
+
+// UnpackGhost writes a received border payload into the ghost plane on
+// the dim/dir side (dir = -1 for the low ghost plane at coordinate -1,
+// +1 for the high ghost plane at coordinate N). The payload must have
+// been produced by the neighbor's PackBorder with the opposite dir, so
+// the distributions stored are those streaming into this sub-domain.
+func (l *Lattice) UnpackGhost(dim, dir int, data []float32) {
+	// Directions entering through the low ghost plane have positive
+	// velocity along dim, and vice versa.
+	dists := DirsInto(dim, -dir)
+	ghost := -1
+	if dir > 0 {
+		switch dim {
+		case 0:
+			ghost = l.NX
+		case 1:
+			ghost = l.NY
+		default:
+			ghost = l.NZ
+		}
+	}
+	pos := 0
+	l.borderPlane(dim, func(a, b int) {
+		c := l.planeIdx(dim, ghost, a, b)
+		for _, i := range dists {
+			l.Post[i][c] = data[pos]
+			pos++
+		}
+	})
+	if pos != len(data) {
+		panic("lbm: ghost payload length mismatch")
+	}
+}

@@ -1,0 +1,86 @@
+// Package lbm implements the D3Q19 lattice Boltzmann method of Section 4
+// of the paper: BGK and multiple-relaxation-time (MRT) collision
+// operators, half-way bounce-back solid boundaries (including moving
+// walls), equilibrium velocity inlets, zero-gradient outflow, periodic
+// boundaries, body forces, and the hybrid thermal coupling of the HTLBM.
+// This package is the CPU reference implementation; package lbmgpu maps
+// the identical update rule onto the simulated GPU, and package cluster
+// decomposes it across nodes.
+package lbm
+
+// Q is the number of discrete velocities of the D3Q19 lattice: the rest
+// velocity, 6 nearest axial links and 12 second-nearest diagonal links
+// (Figure 4 of the paper).
+const Q = 19
+
+// C lists the discrete velocity vectors c_i.
+var C = [Q][3]int{
+	{0, 0, 0},
+	{1, 0, 0}, {-1, 0, 0},
+	{0, 1, 0}, {0, -1, 0},
+	{0, 0, 1}, {0, 0, -1},
+	{1, 1, 0}, {-1, -1, 0},
+	{1, -1, 0}, {-1, 1, 0},
+	{1, 0, 1}, {-1, 0, -1},
+	{1, 0, -1}, {-1, 0, 1},
+	{0, 1, 1}, {0, -1, -1},
+	{0, 1, -1}, {0, -1, 1},
+}
+
+// W lists the lattice weights w_i.
+var W = [Q]float32{
+	1.0 / 3.0,
+	1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+	1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+	1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+}
+
+// Opp maps each direction to its opposite: C[Opp[i]] == -C[i].
+var Opp = [Q]int{0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17}
+
+// CsSq is the lattice speed of sound squared, c_s^2 = 1/3.
+const CsSq = 1.0 / 3.0
+
+// Viscosity returns the kinematic viscosity implied by relaxation time
+// tau: nu = (tau - 1/2) * c_s^2.
+func Viscosity(tau float32) float32 { return (tau - 0.5) * CsSq }
+
+// TauForViscosity returns the relaxation time that yields viscosity nu.
+func TauForViscosity(nu float32) float32 { return nu/CsSq + 0.5 }
+
+// FeqI returns the i-th equilibrium distribution for density rho and
+// velocity u: w_i rho (1 + 3 c.u + 4.5 (c.u)^2 - 1.5 u.u).
+func FeqI(i int, rho, ux, uy, uz float32) float32 {
+	cu := float32(C[i][0])*ux + float32(C[i][1])*uy + float32(C[i][2])*uz
+	usq := ux*ux + uy*uy + uz*uz
+	return W[i] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*usq)
+}
+
+// Feq fills out[0:Q] with the full equilibrium distribution.
+func Feq(out *[Q]float32, rho, ux, uy, uz float32) {
+	usq := ux*ux + uy*uy + uz*uz
+	base := 1 - 1.5*usq
+	for i := 0; i < Q; i++ {
+		cu := float32(C[i][0])*ux + float32(C[i][1])*uy + float32(C[i][2])*uz
+		out[i] = W[i] * rho * (base + 3*cu + 4.5*cu*cu)
+	}
+}
+
+// Moments returns density and momentum-derived velocity for one cell's
+// distributions.
+func Moments(f *[Q]float32) (rho, ux, uy, uz float32) {
+	for i := 0; i < Q; i++ {
+		v := f[i]
+		rho += v
+		ux += v * float32(C[i][0])
+		uy += v * float32(C[i][1])
+		uz += v * float32(C[i][2])
+	}
+	if rho != 0 {
+		inv := 1 / rho
+		ux *= inv
+		uy *= inv
+		uz *= inv
+	}
+	return
+}

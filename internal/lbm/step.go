@@ -1,0 +1,304 @@
+package lbm
+
+// This file implements the two-phase update of the lattice Boltzmann
+// method as described in Section 4.1 of the paper: synchronous streaming
+// along the lattice links followed by a local collision (BGK or MRT),
+// with boundary conditions applied through the ghost shell.
+//
+// The canonical step order is ghost-fill, stream, collide, with the
+// state held *between* steps being the post-collision distributions
+// (Post). This ordering is what makes the cluster decomposition and the
+// GPU mapping exact: the data exchanged across sub-domain borders, and
+// the data held in GPU textures, are always post-collision values — the
+// quantities the paper's border streaming (Section 4.3) ships between
+// nodes.
+
+// Step advances the lattice by one time step: fill ghosts from the face
+// boundary conditions, stream, collide.
+func (l *Lattice) Step() {
+	l.FillGhosts()
+	l.Stream()
+	l.Collide()
+	l.step++
+}
+
+// Collide computes post-collision distributions for every interior fluid
+// cell, caching per-cell density. Solid interior cells keep their current
+// distributions (they are never read except through bounce-back, which
+// uses the fluid cell's own post-collision values).
+func (l *Lattice) Collide() {
+	omega := 1 / l.Tau
+	var f, post, feq [Q]float32
+	hasForce := l.Force != [3]float32{} || l.ForceField != nil
+	for z := 0; z < l.NZ; z++ {
+		for y := 0; y < l.NY; y++ {
+			base := l.Idx(0, y, z)
+			for x := 0; x < l.NX; x++ {
+				c := base + x
+				if l.Solid[c] {
+					continue
+				}
+				var rho, ux, uy, uz float32
+				for i := 0; i < Q; i++ {
+					v := l.F[i][c]
+					f[i] = v
+					rho += v
+					ux += v * float32(C[i][0])
+					uy += v * float32(C[i][1])
+					uz += v * float32(C[i][2])
+				}
+				inv := float32(1) / rho
+				ux *= inv
+				uy *= inv
+				uz *= inv
+				l.Rho[c] = rho
+
+				if l.Collision != nil {
+					l.Collision.Collide(&f, &post, rho, ux, uy, uz)
+				} else {
+					Feq(&feq, rho, ux, uy, uz)
+					for i := 0; i < Q; i++ {
+						post[i] = f[i] - omega*(f[i]-feq[i])
+					}
+				}
+				if hasForce {
+					a := l.Force
+					if l.ForceField != nil {
+						a = a.Add(l.ForceField[c])
+					}
+					if a != [3]float32{} {
+						for i := 0; i < Q; i++ {
+							ca := float32(C[i][0])*a[0] + float32(C[i][1])*a[1] + float32(C[i][2])*a[2]
+							post[i] += 3 * W[i] * rho * ca
+						}
+					}
+				}
+				for i := 0; i < Q; i++ {
+					l.Post[i][c] = post[i]
+				}
+			}
+		}
+	}
+}
+
+// FillGhosts populates the ghost shell's post-collision values from the
+// face boundary conditions, dimension by dimension (x, then y including
+// the x ghosts, then z including both) so that edge and corner ghosts are
+// consistent — the same ordering the cluster layer uses for its border
+// exchange, which realizes the paper's indirect routing of diagonal
+// (second-nearest-neighbor) data through axial transfers.
+func (l *Lattice) FillGhosts() {
+	l.FillGhostDim(0)
+	l.FillGhostDim(1)
+	l.FillGhostDim(2)
+}
+
+// FillGhostDim fills the two ghost planes of one dimension (0=x, 1=y,
+// 2=z) from their face boundary conditions. Ghost-type faces are left for
+// the cluster exchange, which must be interleaved in the same dimension
+// order: x planes span the interior only, y planes include the x ghosts,
+// z planes include both, so diagonal data propagate through edges in two
+// axial hops exactly as in the paper's indirect schedule.
+func (l *Lattice) FillGhostDim(dim int) {
+	l.fillFace(2*dim, dim)
+	l.fillFace(2*dim+1, dim)
+}
+
+// fillFace fills one ghost plane. dim is 0, 1, 2 for x, y, z; the sweep
+// covers ghost coordinates of lower dimensions to populate edges.
+func (l *Lattice) fillFace(face int, dim int) {
+	spec := l.Faces[face]
+	switch spec.Type {
+	case Ghost, Wall, MovingWall:
+		// Ghost faces are filled by the cluster exchange; wall faces
+		// are realized as solid ghosts during streaming.
+		return
+	}
+	neg := face%2 == 0
+	// Ghost coordinate and its periodic image / interior neighbor.
+	var gcoord, wrapcoord, edgecoord int
+	switch dim {
+	case 0:
+		gcoord, wrapcoord, edgecoord = -1, l.NX-1, 0
+		if !neg {
+			gcoord, wrapcoord, edgecoord = l.NX, 0, l.NX-1
+		}
+	case 1:
+		gcoord, wrapcoord, edgecoord = -1, l.NY-1, 0
+		if !neg {
+			gcoord, wrapcoord, edgecoord = l.NY, 0, l.NY-1
+		}
+	case 2:
+		gcoord, wrapcoord, edgecoord = -1, l.NZ-1, 0
+		if !neg {
+			gcoord, wrapcoord, edgecoord = l.NZ, 0, l.NZ-1
+		}
+	}
+
+	rho := spec.Rho
+	if rho == 0 {
+		rho = 1
+	}
+	var feq [Q]float32
+	if spec.Type == Inlet {
+		Feq(&feq, rho, spec.U[0], spec.U[1], spec.U[2])
+	}
+
+	// lo/hi sweep bounds per dimension: lower dims include ghosts.
+	sweep := func(visit func(a, b int)) {
+		switch dim {
+		case 0: // sweep y,z interior only
+			for z := 0; z < l.NZ; z++ {
+				for y := 0; y < l.NY; y++ {
+					visit(y, z)
+				}
+			}
+		case 1: // sweep x incl ghosts, z interior
+			for z := 0; z < l.NZ; z++ {
+				for x := -1; x <= l.NX; x++ {
+					visit(x, z)
+				}
+			}
+		case 2: // sweep x,y incl ghosts
+			for y := -1; y <= l.NY; y++ {
+				for x := -1; x <= l.NX; x++ {
+					visit(x, y)
+				}
+			}
+		}
+	}
+
+	idxFor := func(a, b int) (ghost, src int) {
+		switch dim {
+		case 0:
+			ghost = l.Idx(gcoord, a, b)
+			if spec.Type == Periodic {
+				src = l.Idx(wrapcoord, a, b)
+			} else {
+				src = l.Idx(edgecoord, a, b)
+			}
+		case 1:
+			ghost = l.Idx(a, gcoord, b)
+			if spec.Type == Periodic {
+				src = l.Idx(a, wrapcoord, b)
+			} else {
+				src = l.Idx(a, edgecoord, b)
+			}
+		default:
+			ghost = l.Idx(a, b, gcoord)
+			if spec.Type == Periodic {
+				src = l.Idx(a, b, wrapcoord)
+			} else {
+				src = l.Idx(a, b, edgecoord)
+			}
+		}
+		return
+	}
+
+	switch spec.Type {
+	case Periodic:
+		sweep(func(a, b int) {
+			ghost, src := idxFor(a, b)
+			for i := 0; i < Q; i++ {
+				l.Post[i][ghost] = l.Post[i][src]
+			}
+			// Periodic geometry: the ghost mirrors the far side's
+			// solidity so obstacles wrap correctly.
+			l.Solid[ghost] = l.Solid[src]
+		})
+	case Inlet:
+		sweep(func(a, b int) {
+			ghost, _ := idxFor(a, b)
+			for i := 0; i < Q; i++ {
+				l.Post[i][ghost] = feq[i]
+			}
+		})
+	case Outflow:
+		// Pressure outlet: copy the adjacent cell's distributions but
+		// re-anchor their density at the outlet value, so mass cannot
+		// accumulate against the outflow face. The source in-plane
+		// coordinates are clamped to the interior: the y/z sweeps cover
+		// ghost columns whose cells hold only the distributions entering
+		// the domain (exchange ghosts), which do not define moments.
+		clampA := func(a int) int { return a }
+		clampB := func(b int) int { return b }
+		switch dim {
+		case 1:
+			clampA = func(a int) int { return clampInt(a, 0, l.NX-1) }
+		case 2:
+			clampA = func(a int) int { return clampInt(a, 0, l.NX-1) }
+			clampB = func(b int) int { return clampInt(b, 0, l.NY-1) }
+		}
+		sweep(func(a, b int) {
+			ghost, _ := idxFor(a, b)
+			_, src := idxFor(clampA(a), clampB(b))
+			var fp [Q]float32
+			for i := 0; i < Q; i++ {
+				fp[i] = l.Post[i][src]
+			}
+			rhoSrc, ux, uy, uz := Moments(&fp)
+			var feqSrc, feqOut [Q]float32
+			Feq(&feqSrc, rhoSrc, ux, uy, uz)
+			Feq(&feqOut, rho, ux, uy, uz)
+			for i := 0; i < Q; i++ {
+				l.Post[i][ghost] = fp[i] - feqSrc[i] + feqOut[i]
+			}
+		})
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Stream propagates post-collision distributions along the lattice links
+// into the current distributions, applying half-way bounce-back at solid
+// cells (with the moving-wall momentum correction where a wall velocity
+// is present).
+func (l *Lattice) Stream() {
+	for z := 0; z < l.NZ; z++ {
+		for y := 0; y < l.NY; y++ {
+			base := l.Idx(0, y, z)
+			for x := 0; x < l.NX; x++ {
+				c := base + x
+				if l.Solid[c] {
+					continue
+				}
+				var lq *linkQ
+				if l.LinkQ != nil {
+					lq = l.LinkQ[c]
+				}
+				for i := 0; i < Q; i++ {
+					src := l.Idx(x-C[i][0], y-C[i][1], z-C[i][2])
+					if l.Solid[src] {
+						o := Opp[i]
+						// Interpolated bounce-back when the link's wall
+						// intersection is resolved (curved boundaries);
+						// half-way bounce-back otherwise.
+						if lq != nil && lq[o] != 0 {
+							l.F[i][c] = l.curvedBounce(i, o, c, x, y, z, lq[o])
+							continue
+						}
+						v := l.Post[o][c]
+						if l.WallU != nil {
+							uw := l.WallU[src]
+							if uw != [3]float32{} {
+								cu := float32(C[i][0])*uw[0] + float32(C[i][1])*uw[1] + float32(C[i][2])*uw[2]
+								v += 6 * W[i] * l.Rho[c] * cu
+							}
+						}
+						l.F[i][c] = v
+					} else {
+						l.F[i][c] = l.Post[i][src]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package lbm
+
+import (
+	"math"
+	"testing"
+
+	"gpucluster/internal/vecmath"
+)
+
+func TestThermalDiffusionConservesEnergy(t *testing.T) {
+	// Pure diffusion (no flow) with adiabatic boundaries conserves the
+	// total heat content.
+	l := New(12, 12, 12, 0.8)
+	l.Init(1, vecmath.Vec3{})
+	th := NewThermal(l, 0.1, 0)
+	th.SetTemp(6, 6, 6, 100)
+	var sum0 float64
+	for i := range th.T {
+		sum0 += float64(th.T[i])
+	}
+	mean0 := th.MeanTemp()
+	for s := 0; s < 100; s++ {
+		th.Step()
+	}
+	mean1 := th.MeanTemp()
+	if math.Abs(mean1-mean0) > 1e-3*math.Abs(mean0+1) {
+		t.Errorf("mean temperature drifted %v -> %v", mean0, mean1)
+	}
+	_ = sum0
+}
+
+func TestThermalDiffusionSpreads(t *testing.T) {
+	// A hot spot must spread: peak decreases, neighbors warm up.
+	l := New(16, 16, 16, 0.8)
+	l.Init(1, vecmath.Vec3{})
+	th := NewThermal(l, 1.0/8, 0)
+	th.SetTemp(8, 8, 8, 100)
+	for s := 0; s < 40; s++ {
+		th.Step()
+	}
+	peak := th.Temp(8, 8, 8)
+	if peak >= 100 || peak <= 0 {
+		t.Errorf("peak after diffusion = %v", peak)
+	}
+	if n := th.Temp(10, 8, 8); n <= 0 {
+		t.Errorf("neighbor did not warm: %v", n)
+	}
+	// Spherical symmetry of the spread.
+	a, b := th.Temp(10, 8, 8), th.Temp(8, 10, 8)
+	if math.Abs(float64(a-b)) > 1e-4 {
+		t.Errorf("anisotropic diffusion: %v vs %v", a, b)
+	}
+}
+
+func TestThermalAdvection(t *testing.T) {
+	// With a uniform flow in +x and negligible diffusion the temperature
+	// bump must translate downstream.
+	U := float32(0.08)
+	l := New(32, 8, 8, 0.8)
+	l.Init(1, vecmath.Vec3{U, 0, 0})
+	th := NewThermal(l, 1e-4, 0)
+	th.SetTemp(6, 4, 4, 50)
+	th.SetTemp(7, 4, 4, 50)
+	th.SetTemp(8, 4, 4, 50)
+	// Advect only (don't step the flow, which stays uniform by symmetry
+	// anyway); 100 steps at u=0.08 moves the center by ~8 cells.
+	for s := 0; s < 100; s++ {
+		th.Step()
+	}
+	// Center of mass of temperature along x.
+	var m, mx float64
+	for x := 0; x < l.NX; x++ {
+		v := float64(th.Temp(x, 4, 4))
+		m += v
+		mx += v * float64(x)
+	}
+	com := mx / m
+	if com < 10 || com > 20 {
+		t.Errorf("temperature center of mass = %.1f, want ~15 (started at 7)", com)
+	}
+}
+
+func TestBuoyancyDrivesFlow(t *testing.T) {
+	// A hot column with upward buoyancy must generate upward momentum:
+	// the energy coupling back into the flow.
+	l := New(8, 8, 16, 0.8)
+	l.Faces[FaceZNeg] = FaceSpec{Type: Wall}
+	l.Faces[FaceZPos] = FaceSpec{Type: Wall}
+	l.Init(1, vecmath.Vec3{})
+	th := NewThermal(l, 0.05, 0)
+	th.Buoyancy = vecmath.Vec3{0, 0, 1e-4}
+	for z := 4; z < 8; z++ {
+		th.SetTemp(4, 4, z, 10)
+	}
+	for s := 0; s < 60; s++ {
+		th.Step()
+		l.Step()
+	}
+	if uz := l.Velocity(4, 4, 8)[2]; uz <= 0 {
+		t.Errorf("hot column should rise, u_z = %v", uz)
+	}
+}
+
+func TestDirichletFaceDrivesGradient(t *testing.T) {
+	// Hot bottom, cold top with pure conduction: a monotone vertical
+	// profile develops.
+	l := New(4, 4, 12, 0.8)
+	l.Init(1, vecmath.Vec3{})
+	th := NewThermal(l, 0.15, 0)
+	th.FixedFace[FaceZNeg] = true
+	th.FaceTemp[FaceZNeg] = 1
+	th.FixedFace[FaceZPos] = true
+	th.FaceTemp[FaceZPos] = 0
+	for s := 0; s < 2000; s++ {
+		th.Step()
+	}
+	prev := th.Temp(2, 2, 0)
+	if prev < 0.7 {
+		t.Errorf("bottom temperature %v too low", prev)
+	}
+	for z := 1; z < l.NZ; z++ {
+		cur := th.Temp(2, 2, z)
+		if cur > prev+1e-4 {
+			t.Errorf("profile not monotone at z=%d: %v > %v", z, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSolidCellsHoldTemperature(t *testing.T) {
+	l := New(8, 8, 8, 0.8)
+	l.SetSolid(4, 4, 4, true)
+	l.Init(1, vecmath.Vec3{})
+	th := NewThermal(l, 0.1, 0)
+	th.SetTemp(4, 4, 4, 42)
+	for s := 0; s < 10; s++ {
+		th.Step()
+	}
+	if got := th.Temp(4, 4, 4); got != 42 {
+		t.Errorf("solid cell temperature changed: %v", got)
+	}
+}

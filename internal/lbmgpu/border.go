@@ -1,0 +1,213 @@
+package lbmgpu
+
+import (
+	"gpucluster/internal/gpu"
+	"gpucluster/internal/lbm"
+	"gpucluster/internal/vecmath"
+)
+
+// planeDims returns the border plane extents (a, b) for a dimension,
+// matching lbm.Lattice.borderPlane: x planes span the interior, y planes
+// include the x ghosts, z planes include x and y ghosts.
+func (s *Simulator) planeDims(dim int) (w, h int) {
+	switch dim {
+	case 0:
+		return s.ny, s.nz
+	case 1:
+		return s.nx + 2, s.nz
+	default:
+		return s.nx + 2, s.ny + 2
+	}
+}
+
+// PackBorder gathers the five outgoing distributions of the dim/dir face
+// into the compact border texture with a single render pass, reads the
+// texture back in one bus transfer (the paper's single glGetTexImage),
+// and reorders the payload to the canonical wire format shared with the
+// CPU backend.
+func (s *Simulator) PackBorder(dim, dir int) []float32 {
+	dists := lbm.DirsInto(dim, dir)
+	pw, ph := s.planeDims(dim)
+
+	// Lattice plane coordinate (texture space).
+	plane := 1 // low border
+	if dir > 0 {
+		plane = [3]int{s.nx, s.ny, s.nz}[dim]
+	}
+
+	// fetch returns the texture location of plane cell (a, b):
+	// the containing layer and in-layer coordinates.
+	var locate func(a, b int) (layer, tx, ty int)
+	switch dim {
+	case 0:
+		locate = func(a, b int) (int, int, int) { return b + 1, plane, a + 1 }
+	case 1:
+		locate = func(a, b int) (int, int, int) { return b + 1, a, plane }
+	default:
+		locate = func(a, b int) (int, int, int) { return plane, a, b }
+	}
+
+	bt := s.border[dim]
+	must(s.dev.Run(gpu.Pass{
+		Name:   "border-gather",
+		Target: s.borderPB[dim],
+		Program: func(_ []gpu.Sampler, fx, fy int) vecmath.Vec4 {
+			a, b := fx, fy
+			fifth := false
+			if fy >= ph {
+				b = fy - ph
+				fifth = true
+			}
+			layer, tx, ty := locate(a, b)
+			var out vecmath.Vec4
+			if fifth {
+				i := dists[4]
+				out[0] = s.stacks[distStack(i)].Layer(layer).Fetch(tx, ty)[distChan(i)]
+				return out
+			}
+			for k := 0; k < 4; k++ {
+				i := dists[k]
+				out[k] = s.stacks[distStack(i)].Layer(layer).Fetch(tx, ty)[distChan(i)]
+			}
+			return out
+		},
+	}))
+	must(s.dev.CopyToTexture(s.borderPB[dim], bt))
+	raw, err := s.dev.Download(bt)
+	must(err)
+
+	// Reorder into the canonical payload: plane cells (b outer, a inner)
+	// with the 5 distributions consecutive.
+	out := make([]float32, 0, 5*pw*ph)
+	btw := bt.Width()
+	for b := 0; b < ph; b++ {
+		for a := 0; a < pw; a++ {
+			base := 4 * (b*btw + a)
+			out = append(out, raw[base], raw[base+1], raw[base+2], raw[base+3])
+			out = append(out, raw[4*((b+ph)*btw+a)])
+		}
+	}
+	return out
+}
+
+// UnpackGhost scatters a received payload into the ghost plane of the
+// dim/dir face using sub-image uploads over the fast downstream bus
+// direction, one rectangle per distribution stack and slice.
+func (s *Simulator) UnpackGhost(dim, dir int, data []float32) {
+	dists := lbm.DirsInto(dim, -dir)
+	pw, ph := s.planeDims(dim)
+	if len(data) != 5*pw*ph {
+		panic("lbmgpu: ghost payload length mismatch")
+	}
+	ghost := 0 // texture coordinate of the ghost plane
+	if dir > 0 {
+		ghost = [3]int{s.nx, s.ny, s.nz}[dim] + 1
+	}
+
+	// Group the five distributions by stack; each group becomes one
+	// sequence of rect uploads.
+	byStack := map[int][]int{}
+	for _, i := range dists {
+		byStack[distStack(i)] = append(byStack[distStack(i)], i)
+	}
+
+	// value returns payload element for plane cell (a, b), dist index k.
+	value := func(a, b, k int) float32 { return data[(b*pw+a)*5+k] }
+	distPos := map[int]int{}
+	for k, i := range dists {
+		distPos[i] = k
+	}
+
+	switch dim {
+	case 0, 1:
+		// One thin rectangle per interior slice.
+		for b := 0; b < ph; b++ {
+			layer := b + 1
+			for st, group := range byStack {
+				var rect gpu.Rect
+				if dim == 0 {
+					rect = gpu.Rect{X0: ghost, Y0: 1, X1: ghost + 1, Y1: s.ny + 1}
+				} else {
+					rect = gpu.Rect{X0: 0, Y0: ghost, X1: s.w, Y1: ghost + 1}
+				}
+				buf := make([]float32, rect.Fragments()*4)
+				for a := 0; a < pw; a++ {
+					for _, i := range group {
+						buf[a*4+distChan(i)] = value(a, b, distPos[i])
+					}
+				}
+				must(s.dev.UploadRect(s.stacks[st].Layer(layer), rect, buf))
+			}
+		}
+	default:
+		// z: a whole ghost layer per stack.
+		rect := gpu.Rect{X0: 0, Y0: 0, X1: s.w, Y1: s.h}
+		for st, group := range byStack {
+			buf := make([]float32, rect.Fragments()*4)
+			for b := 0; b < ph; b++ {
+				for a := 0; a < pw; a++ {
+					for _, i := range group {
+						buf[(b*s.w+a)*4+distChan(i)] = value(a, b, distPos[i])
+					}
+				}
+			}
+			must(s.dev.UploadRect(s.stacks[st].Layer(ghost), rect, buf))
+		}
+	}
+}
+
+// DensityField downloads the macro stack and returns interior densities.
+func (s *Simulator) DensityField() []float32 {
+	out := make([]float32, s.nx*s.ny*s.nz)
+	i := 0
+	for z := 1; z <= s.nz; z++ {
+		raw, err := s.dev.Download(s.macro.Layer(z))
+		must(err)
+		for y := 1; y <= s.ny; y++ {
+			for x := 1; x <= s.nx; x++ {
+				out[i] = raw[4*(y*s.w+x)]
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// VelocityField downloads the macro stack and returns interior velocities.
+func (s *Simulator) VelocityField() []vecmath.Vec3 {
+	out := make([]vecmath.Vec3, s.nx*s.ny*s.nz)
+	i := 0
+	for z := 1; z <= s.nz; z++ {
+		raw, err := s.dev.Download(s.macro.Layer(z))
+		must(err)
+		for y := 1; y <= s.ny; y++ {
+			for x := 1; x <= s.nx; x++ {
+				base := 4 * (y*s.w + x)
+				out[i] = vecmath.Vec3{raw[base+1], raw[base+2], raw[base+3]}
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// TotalMass sums interior fluid density from the macro stack.
+func (s *Simulator) TotalMass() float64 {
+	var sum float64
+	for z := 1; z <= s.nz; z++ {
+		raw, err := s.dev.Download(s.macro.Layer(z))
+		must(err)
+		solidRaw, err := s.dev.Download(s.solid.Layer(z))
+		must(err)
+		for y := 1; y <= s.ny; y++ {
+			for x := 1; x <= s.nx; x++ {
+				base := 4 * (y*s.w + x)
+				if solidRaw[base] > 0.5 {
+					continue
+				}
+				sum += float64(raw[base])
+			}
+		}
+	}
+	return sum
+}

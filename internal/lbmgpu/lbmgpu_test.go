@@ -1,0 +1,264 @@
+package lbmgpu
+
+import (
+	"math"
+	"testing"
+
+	"gpucluster/internal/gpu"
+	"gpucluster/internal/lbm"
+	"gpucluster/internal/vecmath"
+)
+
+func newDevice() *gpu.Device {
+	return gpu.New(gpu.Config{Name: "test", TextureMemory: 256 << 20, Workers: 4})
+}
+
+func noExchange(int) {}
+
+// buildPair constructs a CPU lattice and its GPU twin from the same
+// configuration closure.
+func buildPair(t *testing.T, nx, ny, nz int, tau float32, configure func(l *lbm.Lattice)) (*lbm.Lattice, *Simulator) {
+	t.Helper()
+	cpu := lbm.New(nx, ny, nz, tau)
+	configure(cpu)
+	cpu.Init(1, vecmath.Vec3{})
+
+	gpuSrc := lbm.New(nx, ny, nz, tau)
+	configure(gpuSrc)
+	gpuSrc.Init(1, vecmath.Vec3{})
+
+	sim, err := New(newDevice(), gpuSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu, sim
+}
+
+// assertFieldsEqual compares the GPU macro fields against the CPU
+// lattice's moments bit for bit.
+func assertFieldsEqual(t *testing.T, cpu *lbm.Lattice, sim *Simulator) {
+	t.Helper()
+	den := sim.DensityField()
+	vel := sim.VelocityField()
+	i := 0
+	var f [lbm.Q]float32
+	for z := 0; z < cpu.NZ; z++ {
+		for y := 0; y < cpu.NY; y++ {
+			for x := 0; x < cpu.NX; x++ {
+				if !cpu.IsSolid(x, y, z) {
+					cpu.Gather(&f, x, y, z)
+					rho, ux, uy, uz := lbm.Moments(&f)
+					if den[i] != rho {
+						t.Fatalf("density mismatch at (%d,%d,%d): gpu %v cpu %v",
+							x, y, z, den[i], rho)
+					}
+					if vel[i] != (vecmath.Vec3{ux, uy, uz}) {
+						t.Fatalf("velocity mismatch at (%d,%d,%d): gpu %v cpu %v",
+							x, y, z, vel[i], vecmath.Vec3{ux, uy, uz})
+					}
+				}
+				i++
+			}
+		}
+	}
+}
+
+func stepBoth(cpu *lbm.Lattice, sim *Simulator, steps int) {
+	for s := 0; s < steps; s++ {
+		cpu.Step()
+		sim.Step(noExchange)
+	}
+}
+
+func TestGPUMatchesCPUPeriodicShear(t *testing.T) {
+	cpu, sim := buildPair(t, 12, 10, 8, 0.8, func(l *lbm.Lattice) {})
+	// Both start at uniform equilibrium; add a body force to create
+	// dynamics.
+	cpu.Force = vecmath.Vec3{1e-4, 0, 0}
+	sim.cfg.Force = vecmath.Vec3{1e-4, 0, 0}
+	stepBoth(cpu, sim, 8)
+	assertFieldsEqual(t, cpu, sim)
+}
+
+func TestGPUMatchesCPUWallsAndObstacle(t *testing.T) {
+	configure := func(l *lbm.Lattice) {
+		for f := range l.Faces {
+			l.Faces[f] = lbm.FaceSpec{Type: lbm.Wall}
+		}
+		l.Faces[lbm.FaceXNeg] = lbm.FaceSpec{Type: lbm.Inlet, U: vecmath.Vec3{0.04, 0, 0}}
+		l.Faces[lbm.FaceXPos] = lbm.FaceSpec{Type: lbm.Outflow}
+		for z := 2; z < 5; z++ {
+			for y := 3; y < 6; y++ {
+				for x := 4; x < 7; x++ {
+					l.SetSolid(x, y, z, true)
+				}
+			}
+		}
+	}
+	cpu, sim := buildPair(t, 14, 10, 8, 0.8, configure)
+	stepBoth(cpu, sim, 10)
+	assertFieldsEqual(t, cpu, sim)
+}
+
+func TestGPUMatchesCPUMovingWallCavity(t *testing.T) {
+	configure := func(l *lbm.Lattice) {
+		for f := range l.Faces {
+			l.Faces[f] = lbm.FaceSpec{Type: lbm.Wall}
+		}
+		l.Faces[lbm.FaceYPos] = lbm.FaceSpec{Type: lbm.MovingWall, U: vecmath.Vec3{0.06, 0, 0}}
+	}
+	cpu, sim := buildPair(t, 10, 10, 6, 0.9, configure)
+	stepBoth(cpu, sim, 12)
+	assertFieldsEqual(t, cpu, sim)
+}
+
+func TestGPUMatchesCPUInletWind(t *testing.T) {
+	configure := func(l *lbm.Lattice) {
+		l.Faces[lbm.FaceXNeg] = lbm.FaceSpec{Type: lbm.Inlet, U: vecmath.Vec3{0.05, 0.01, 0}}
+		l.Faces[lbm.FaceXPos] = lbm.FaceSpec{Type: lbm.Outflow}
+		l.Faces[lbm.FaceYNeg] = lbm.FaceSpec{Type: lbm.Outflow}
+		l.Faces[lbm.FaceYPos] = lbm.FaceSpec{Type: lbm.Outflow}
+		l.Faces[lbm.FaceZNeg] = lbm.FaceSpec{Type: lbm.Wall}
+		l.Faces[lbm.FaceZPos] = lbm.FaceSpec{Type: lbm.Outflow}
+	}
+	cpu, sim := buildPair(t, 12, 10, 6, 0.7, configure)
+	stepBoth(cpu, sim, 10)
+	assertFieldsEqual(t, cpu, sim)
+}
+
+func TestGPUBorderPackMatchesCPU(t *testing.T) {
+	// The GPU border gather + single read-back must produce exactly the
+	// payload the CPU backend produces, making mixed clusters possible.
+	configure := func(l *lbm.Lattice) {
+		l.Faces[lbm.FaceXPos] = lbm.FaceSpec{Type: lbm.Ghost}
+		l.Faces[lbm.FaceYPos] = lbm.FaceSpec{Type: lbm.Ghost}
+		l.Faces[lbm.FaceZPos] = lbm.FaceSpec{Type: lbm.Ghost}
+	}
+	cpu, sim := buildPair(t, 8, 7, 6, 0.8, configure)
+	cpu.Force = vecmath.Vec3{1e-4, 2e-5, 0}
+	sim.cfg.Force = cpu.Force
+
+	// Advance a few steps (treating ghost faces as stale) to produce a
+	// non-trivial state on both sides.
+	for s := 0; s < 3; s++ {
+		cpu.Step()
+		sim.Step(noExchange)
+	}
+	for dim := 0; dim < 3; dim++ {
+		for _, dir := range []int{-1, +1} {
+			want := cpu.PackBorder(dim, dir)
+			got := sim.PackBorder(dim, dir)
+			if len(got) != len(want) {
+				t.Fatalf("dim %d dir %d: length %d != %d", dim, dir, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dim %d dir %d: payload[%d] = %v, want %v",
+						dim, dir, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGPUUnpackRoundTrip(t *testing.T) {
+	// Payload unpacked into the GPU ghost plane must be readable back by
+	// the next pack of the opposite face... more directly: feed a CPU
+	// payload into both backends and verify the next step stays equal.
+	configure := func(l *lbm.Lattice) {
+		l.Faces[lbm.FaceXNeg] = lbm.FaceSpec{Type: lbm.Ghost}
+	}
+	cpu, sim := buildPair(t, 8, 6, 6, 0.8, configure)
+
+	// Manufacture a deterministic ghost payload.
+	payload := make([]float32, cpu.BorderLen(0))
+	for i := range payload {
+		payload[i] = lbm.W[i%lbm.Q] * (1 + 0.01*float32(i%17))
+	}
+	feed := func(dim int) {
+		if dim == 0 {
+			cpu.UnpackGhost(0, -1, payload)
+			sim.UnpackGhost(0, -1, payload)
+		}
+	}
+	cpu.FillGhostDim(0)
+	feed(0)
+	cpu.FillGhostDim(1)
+	cpu.FillGhostDim(2)
+	cpu.Stream()
+	cpu.Collide()
+
+	sim.fillGhostDim(0)
+	feed(0)
+	sim.fillGhostDim(1)
+	sim.fillGhostDim(2)
+	sim.sweep()
+
+	assertFieldsEqual(t, cpu, sim)
+}
+
+func TestGPUMassConservation(t *testing.T) {
+	_, sim := buildPair(t, 10, 10, 8, 0.8, func(l *lbm.Lattice) {})
+	m0 := sim.TotalMass()
+	for s := 0; s < 20; s++ {
+		sim.Step(noExchange)
+	}
+	m1 := sim.TotalMass()
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-5 {
+		t.Errorf("GPU mass drifted: %v -> %v", m0, m1)
+	}
+}
+
+func TestGPUPassAndTransferAccounting(t *testing.T) {
+	_, sim := buildPair(t, 8, 8, 8, 0.8, func(l *lbm.Lattice) {})
+	dev := sim.Device()
+	p0 := dev.Stats.Passes
+	sim.Step(noExchange)
+	if dev.Stats.Passes <= p0 {
+		t.Error("step executed no passes")
+	}
+	// A border pack must cost exactly one upstream read.
+	up0 := dev.Bus().Up.Ops
+	sim.PackBorder(0, +1)
+	if got := dev.Bus().Up.Ops - up0; got != 1 {
+		t.Errorf("border pack used %d upstream reads, want 1 (the paper's single gather read)", got)
+	}
+	// An unpack crosses only the fast downstream direction.
+	down0 := dev.Bus().Down.Ops
+	upBefore := dev.Bus().Up.Ops
+	sim.UnpackGhost(0, -1, make([]float32, 5*8*8))
+	if dev.Bus().Down.Ops == down0 {
+		t.Error("unpack issued no downstream transfers")
+	}
+	if dev.Bus().Up.Ops != upBefore {
+		t.Error("unpack must not read upstream")
+	}
+}
+
+func TestGPURejectsUnsupportedConfigs(t *testing.T) {
+	l := lbm.New(8, 8, 8, 0.8)
+	l.Collision = lbm.NewMRT(0.8)
+	l.Init(1, vecmath.Vec3{})
+	if _, err := New(newDevice(), l); err == nil {
+		t.Error("MRT should be rejected")
+	}
+	l2 := lbm.New(8, 8, 8, 0.8)
+	l2.ForceField = make([]vecmath.Vec3, (8+2)*(8+2)*(8+2))
+	l2.Init(1, vecmath.Vec3{})
+	if _, err := New(newDevice(), l2); err == nil {
+		t.Error("force fields should be rejected")
+	}
+}
+
+func TestGPUOutOfMemory(t *testing.T) {
+	dev := gpu.New(gpu.Config{TextureMemory: 4 << 20, Workers: 1})
+	l := lbm.New(32, 32, 32, 0.8)
+	l.Init(1, vecmath.Vec3{})
+	if _, err := New(dev, l); err == nil {
+		t.Error("allocation should exceed 4 MB")
+	}
+	// Failed construction must not leak device memory.
+	if dev.UsedMemory() != 0 {
+		t.Errorf("leaked %d bytes after failed construction", dev.UsedMemory())
+	}
+}

@@ -1,0 +1,300 @@
+package lbmgpu
+
+import (
+	"fmt"
+
+	"gpucluster/internal/gpu"
+	"gpucluster/internal/lbm"
+	"gpucluster/internal/vecmath"
+)
+
+// Step advances the block one time step on the GPU. For each dimension
+// the boundary-condition ghost rectangles are refreshed by small render
+// passes and the cluster exchange callback runs; then the fused
+// stream-and-collide sweep updates the volume slice by slice.
+func (s *Simulator) Step(exchange func(dim int)) {
+	for dim := 0; dim < 3; dim++ {
+		s.fillGhostDim(dim)
+		exchange(dim)
+	}
+	s.sweep()
+}
+
+// must panics on pass errors: these indicate programming bugs (malformed
+// viewports), not runtime conditions.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("lbmgpu: %v", err))
+	}
+}
+
+// fillGhostDim refreshes the two ghost planes of a dimension from the
+// face boundary conditions, as viewport-rectangle passes (the paper's
+// "multiple small rectangles" covering the boundary regions of each Z
+// slice).
+func (s *Simulator) fillGhostDim(dim int) {
+	s.fillFace(2*dim, dim)
+	s.fillFace(2*dim+1, dim)
+}
+
+func (s *Simulator) fillFace(face, dim int) {
+	spec := s.cfg.Faces[face]
+	switch spec.Type {
+	case lbm.Ghost, lbm.Wall, lbm.MovingWall:
+		return // exchanged externally / realized as solid ghosts
+	}
+	neg := face%2 == 0
+
+	// Ghost texture coordinate along dim, plus the source coordinate:
+	// the periodic image or the adjacent interior cell.
+	extent := [3]int{s.nx, s.ny, s.nz}[dim]
+	gcoord := 0
+	wrapcoord, edgecoord := extent, 1
+	if !neg {
+		gcoord = extent + 1
+		wrapcoord, edgecoord = 1, extent
+	}
+
+	rhoOut := spec.Rho
+	if rhoOut == 0 {
+		rhoOut = 1
+	}
+	var feqIn [lbm.Q]float32
+	if spec.Type == lbm.Inlet {
+		lbm.Feq(&feqIn, rhoOut, spec.U[0], spec.U[1], spec.U[2])
+	}
+
+	// The pass geometry per dim: for x and y faces one thin rectangle
+	// per interior slice; for z faces the whole ghost layer.
+	type planePass struct {
+		layer    int      // target z layer
+		srcLayer int      // source z layer (differs only for z faces)
+		vp       gpu.Rect // viewport on the target layer
+	}
+	var passes []planePass
+	switch dim {
+	case 0:
+		for z := 1; z <= s.nz; z++ {
+			passes = append(passes, planePass{z, z, gpu.Rect{X0: gcoord, Y0: 1, X1: gcoord + 1, Y1: s.ny + 1}})
+		}
+	case 1:
+		for z := 1; z <= s.nz; z++ {
+			passes = append(passes, planePass{z, z, gpu.Rect{X0: 0, Y0: gcoord, X1: s.w, Y1: gcoord + 1}})
+		}
+	default:
+		src := wrapcoord
+		if spec.Type != lbm.Periodic {
+			src = edgecoord
+		}
+		passes = append(passes, planePass{gcoord, src, gpu.Rect{X0: 0, Y0: 0, X1: s.w, Y1: s.h}})
+	}
+
+	for _, pp := range passes {
+		for st := 0; st < 5; st++ {
+			var prog gpu.FragmentProgram
+			switch spec.Type {
+			case lbm.Periodic:
+				srcTex := s.stacks[st].Layer(pp.srcLayer)
+				switch dim {
+				case 0:
+					prog = func(_ []gpu.Sampler, x, y int) vecmath.Vec4 {
+						return srcTex.Fetch(wrapcoord, y)
+					}
+				case 1:
+					prog = func(_ []gpu.Sampler, x, y int) vecmath.Vec4 {
+						return srcTex.Fetch(x, wrapcoord)
+					}
+				default:
+					prog = func(_ []gpu.Sampler, x, y int) vecmath.Vec4 {
+						return srcTex.Fetch(x, y)
+					}
+				}
+			case lbm.Inlet:
+				out := vecmath.Vec4{}
+				for ch := 0; ch < 4; ch++ {
+					if i := st*4 + ch; i < lbm.Q {
+						out[ch] = feqIn[i]
+					}
+				}
+				prog = func(_ []gpu.Sampler, x, y int) vecmath.Vec4 { return out }
+			case lbm.Outflow:
+				// Gather all 19 distributions of the adjacent interior
+				// cell, re-anchor density at the outlet value (same
+				// float path as lbm.fillFace). In-plane coordinates are
+				// clamped to the interior, mirroring the CPU reference:
+				// ghost-column cells hold only entering distributions.
+				clampX := func(x int) int {
+					if x < 1 {
+						return 1
+					}
+					if x > s.nx {
+						return s.nx
+					}
+					return x
+				}
+				clampY := func(y int) int {
+					if y < 1 {
+						return 1
+					}
+					if y > s.ny {
+						return s.ny
+					}
+					return y
+				}
+				var srcAt func(x, y int) (int, int)
+				switch dim {
+				case 0:
+					srcAt = func(x, y int) (int, int) { return edgecoord, y }
+				case 1:
+					srcAt = func(x, y int) (int, int) { return clampX(x), edgecoord }
+				default:
+					srcAt = func(x, y int) (int, int) { return clampX(x), clampY(y) }
+				}
+				layers := [5]*gpu.Texture2D{}
+				for k := 0; k < 5; k++ {
+					layers[k] = s.stacks[k].Layer(pp.srcLayer)
+				}
+				stIdx := st
+				prog = func(_ []gpu.Sampler, x, y int) vecmath.Vec4 {
+					sx, sy := srcAt(x, y)
+					var fp [lbm.Q]float32
+					for i := 0; i < lbm.Q; i++ {
+						fp[i] = layers[distStack(i)].Fetch(sx, sy)[distChan(i)]
+					}
+					rhoSrc, ux, uy, uz := lbm.Moments(&fp)
+					var feqSrc, feqOut [lbm.Q]float32
+					lbm.Feq(&feqSrc, rhoSrc, ux, uy, uz)
+					lbm.Feq(&feqOut, rhoOut, ux, uy, uz)
+					var out vecmath.Vec4
+					for ch := 0; ch < 4; ch++ {
+						if i := stIdx*4 + ch; i < lbm.Q {
+							out[ch] = fp[i] - feqSrc[i] + feqOut[i]
+						}
+					}
+					return out
+				}
+			}
+			pb := s.pbufs[st]
+			must(s.dev.Run(gpu.Pass{
+				Name:     fmt.Sprintf("bc-face%d-stack%d-z%d", face, st, pp.layer),
+				Target:   pb,
+				Viewport: pp.vp,
+				Program:  prog,
+			}))
+			must(s.dev.CopyRect(pb, s.stacks[st].Layer(pp.layer), pp.vp))
+		}
+	}
+}
+
+// sweep runs the fused stream-and-collide pass over every interior slice,
+// in increasing z, using the two-slice ring buffer to preserve pre-update
+// values of the slice below.
+func (s *Simulator) sweep() {
+	force := s.cfg.Force
+	hasForce := force != (vecmath.Vec3{})
+
+	for z := 1; z <= s.nz; z++ {
+		// Layer bindings for dz = -1, 0, +1 per stack: the slice below
+		// was already overwritten, so read its stashed copy.
+		var lay [5][3]*gpu.Texture2D
+		for st := 0; st < 5; st++ {
+			if z-1 >= 1 {
+				lay[st][0] = s.ring[st][(z-1)%2]
+			} else {
+				lay[st][0] = s.stacks[st].Layer(0)
+			}
+			lay[st][1] = s.stacks[st].Layer(z)
+			lay[st][2] = s.stacks[st].Layer(z + 1)
+		}
+		var solidLay [3]*gpu.Texture2D
+		for dz := -1; dz <= 1; dz++ {
+			solidLay[dz+1] = s.solid.Layer(z + dz)
+		}
+		macroLay := s.macro.Layer(z)
+
+		// gatherCell reconstructs the streamed (pre-collision)
+		// distributions at fragment (tx, ty) with bounce-back, matching
+		// lbm.Stream's float path exactly.
+		gatherCell := func(tx, ty int, f *[lbm.Q]float32) {
+			for i := 0; i < lbm.Q; i++ {
+				sx := tx - lbm.C[i][0]
+				sy := ty - lbm.C[i][1]
+				dz := lbm.C[i][2]
+				src := solidLay[1-dz].Fetch(sx, sy)
+				if src[0] > 0.5 {
+					o := lbm.Opp[i]
+					v := lay[distStack(o)][1].Fetch(tx, ty)[distChan(o)]
+					if s.hasWall {
+						uw := vecmath.Vec3{src[1], src[2], src[3]}
+						if uw != (vecmath.Vec3{}) {
+							cu := float32(lbm.C[i][0])*uw[0] + float32(lbm.C[i][1])*uw[1] + float32(lbm.C[i][2])*uw[2]
+							v += 6 * lbm.W[i] * macroLay.Fetch(tx, ty)[0] * cu
+						}
+					}
+					f[i] = v
+				} else {
+					f[i] = lay[distStack(i)][1-dz].Fetch(sx, sy)[distChan(i)]
+				}
+			}
+		}
+
+		interior := gpu.Rect{X0: 1, Y0: 1, X1: s.nx + 1, Y1: s.ny + 1}
+		// Five distribution passes.
+		for st := 0; st < 5; st++ {
+			stIdx := st
+			prog := func(_ []gpu.Sampler, tx, ty int) vecmath.Vec4 {
+				if solidLay[1].Fetch(tx, ty)[0] > 0.5 {
+					return lay[stIdx][1].Fetch(tx, ty) // solid cells keep state
+				}
+				var f [lbm.Q]float32
+				gatherCell(tx, ty, &f)
+				rho, ux, uy, uz := lbm.Moments(&f)
+				var feq [lbm.Q]float32
+				lbm.Feq(&feq, rho, ux, uy, uz)
+				var out vecmath.Vec4
+				for ch := 0; ch < 4; ch++ {
+					i := stIdx*4 + ch
+					if i >= lbm.Q {
+						break
+					}
+					post := f[i] - s.omega*(f[i]-feq[i])
+					if hasForce {
+						ca := float32(lbm.C[i][0])*force[0] + float32(lbm.C[i][1])*force[1] + float32(lbm.C[i][2])*force[2]
+						post += 3 * lbm.W[i] * rho * ca
+					}
+					out[ch] = post
+				}
+				return out
+			}
+			must(s.dev.Run(gpu.Pass{
+				Name:     fmt.Sprintf("fused-stack%d-z%d", st, z),
+				Target:   s.pbufs[st],
+				Viewport: interior,
+				Program:  prog,
+			}))
+		}
+		// Macro pass: moments of the streamed state (the CPU's Rho/u
+		// cache), used for next step's wall terms and for read-back.
+		must(s.dev.Run(gpu.Pass{
+			Name:     fmt.Sprintf("macro-z%d", z),
+			Target:   s.pbufs[5],
+			Viewport: interior,
+			Program: func(_ []gpu.Sampler, tx, ty int) vecmath.Vec4 {
+				if solidLay[1].Fetch(tx, ty)[0] > 0.5 {
+					return macroLay.Fetch(tx, ty)
+				}
+				var f [lbm.Q]float32
+				gatherCell(tx, ty, &f)
+				rho, ux, uy, uz := lbm.Moments(&f)
+				return vecmath.Vec4{rho, ux, uy, uz}
+			},
+		}))
+
+		// Stash the pre-update slice, then commit the pass results.
+		for st := 0; st < 5; st++ {
+			must(s.dev.CopyTexture(s.stacks[st].Layer(z), s.ring[st][z%2]))
+			must(s.dev.CopyRect(s.pbufs[st], s.stacks[st].Layer(z), interior))
+		}
+		must(s.dev.CopyRect(s.pbufs[5], s.macro.Layer(z), interior))
+	}
+}

@@ -1,0 +1,168 @@
+package pde
+
+import (
+	"math"
+	"testing"
+
+	"gpucluster/internal/gpu"
+)
+
+func TestHeatConservesTotal(t *testing.T) {
+	h := NewHeat3D(12, 12, 12, 1.0/8)
+	h.Set(6, 6, 6, 100)
+	t0 := h.Total()
+	for s := 0; s < 50; s++ {
+		h.Step()
+	}
+	t1 := h.Total()
+	if math.Abs(t1-t0) > 1e-2 {
+		t.Errorf("heat content drifted: %v -> %v", t0, t1)
+	}
+	if h.Steps() != 50 {
+		t.Errorf("steps = %d", h.Steps())
+	}
+}
+
+func TestHeatSineModeDecay(t *testing.T) {
+	// u0 = sin(k x): after s steps the amplitude is decayRate^s; measure
+	// and compare with the discrete dispersion relation.
+	const N = 32
+	alpha := float32(0.15)
+	h := NewHeat3D(N, 4, 4, alpha)
+	k := 2 * math.Pi / N
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < N; x++ {
+				h.Set(x, y, z, float32(math.Sin(k*float64(x))))
+			}
+		}
+	}
+	amp := func() float64 {
+		var s float64
+		for x := 0; x < N; x++ {
+			s += float64(h.At(x, 2, 2)) * math.Sin(k*float64(x))
+		}
+		return 2 * s / N
+	}
+	a0 := amp()
+	const steps = 60
+	for s := 0; s < steps; s++ {
+		h.Step()
+	}
+	a1 := amp()
+	want := math.Pow(DecayRate(float64(alpha), N, 1), steps)
+	if got := a1 / a0; math.Abs(got-want)/want > 0.01 {
+		t.Errorf("decay factor = %v, want %v", got, want)
+	}
+}
+
+func TestHeatMaxPrinciple(t *testing.T) {
+	// Explicit stable diffusion never exceeds the initial extrema.
+	h := NewHeat3D(10, 10, 10, 1.0/6)
+	h.Set(5, 5, 5, 1)
+	for s := 0; s < 30; s++ {
+		h.Step()
+		for z := 0; z < 10; z++ {
+			for y := 0; y < 10; y++ {
+				for x := 0; x < 10; x++ {
+					v := h.At(x, y, z)
+					if v < -1e-6 || v > 1 {
+						t.Fatalf("max principle violated at step %d: u(%d,%d,%d)=%v", s, x, y, z, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const nx, ny, nz = 12, 10, 12
+	alpha := float32(0.12)
+	initVal := func(x, y, z int) float32 {
+		return float32(math.Sin(2*math.Pi*float64(x)/nx) * math.Cos(2*math.Pi*float64(z)/nz))
+	}
+	serial := NewHeat3D(nx, ny, nz, alpha)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				serial.Set(x, y, z, initVal(x, y, z))
+			}
+		}
+	}
+	const steps = 25
+	for s := 0; s < steps; s++ {
+		serial.Step()
+	}
+	for _, ranks := range []int{1, 2, 3, 4, 6} {
+		got := ParallelHeat3D(nx, ny, nz, alpha, ranks, steps, initVal)
+		i := 0
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					if got[i] != serial.At(x, y, z) {
+						t.Fatalf("%d ranks: mismatch at (%d,%d,%d): %v != %v",
+							ranks, x, y, z, got[i], serial.At(x, y, z))
+					}
+					i++
+				}
+			}
+		}
+	}
+}
+
+func TestGPUHeat2DMatchesAnalytic(t *testing.T) {
+	const N = 32
+	alpha := float32(0.2)
+	dev := gpu.New(gpu.Config{TextureMemory: 16 << 20, Workers: 4})
+	g, err := NewGPUHeat2D(dev, N, N, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float32, N*N)
+	k := 2 * math.Pi / N
+	for y := 0; y < N; y++ {
+		for x := 0; x < N; x++ {
+			u[y*N+x] = float32(math.Sin(k * float64(x)))
+		}
+	}
+	if err := g.Upload(u); err != nil {
+		t.Fatal(err)
+	}
+	const steps = 40
+	for s := 0; s < steps; s++ {
+		if err := g.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := g.Download()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a float64
+	for x := 0; x < N; x++ {
+		a += float64(got[16*N+x]) * math.Sin(k*float64(x))
+	}
+	a = 2 * a / N
+	want := math.Pow(DecayRate(float64(alpha), N, 1), steps)
+	if math.Abs(a-want)/want > 0.01 {
+		t.Errorf("GPU decay = %v, want %v", a, want)
+	}
+}
+
+func TestInvalidParameters(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHeat3D(0, 4, 4, 0.1) },
+		func() { NewHeat3D(4, 4, 4, 0.5) }, // unstable
+		func() { NewHeat3D(4, 4, 4, -0.1) },
+		func() { ParallelHeat3D(4, 4, 10, 0.1, 3, 1, func(x, y, z int) float32 { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,285 @@
+// Package sched builds the contention-aware communication schedules of
+// Section 4.3 (Figure 7) of the paper. The LBM sub-domains are arranged
+// on a grid of nodes; in every simulation step, border velocity
+// distributions must be exchanged with nearest (axial) and second-nearest
+// (diagonal) neighbors. The schedule organizes these exchanges into
+// synchronous steps of pairwise-disjoint node pairs so that no port of
+// the switch ever carries two transfers at once:
+//
+//	step 1: nodes in the (2i)th columns exchange with their left neighbors
+//	step 2: ... with their right neighbors
+//	step 3: nodes in the (2i)th rows exchange with the row above
+//	step 4: ... with the row below
+//
+// (and two more steps for the z dimension in 3D arrangements).
+//
+// Diagonal data are NOT exchanged directly: "to keep the communication
+// pattern from becoming too complicated ... we transfer those data
+// indirectly in a two-step process" — the diagonal payload rides along
+// with an axial transfer and is forwarded by the intermediate node in a
+// later step. The Direct pattern, which adds explicit diagonal exchange
+// steps, is provided for the ablation experiment A1.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeGrid is the Cartesian arrangement of cluster nodes. Ranks are
+// laid out x-fastest: rank = (k*PY + j)*PX + i.
+type NodeGrid struct {
+	PX, PY, PZ int
+}
+
+// Size returns the number of nodes in the grid.
+func (g NodeGrid) Size() int { return g.PX * g.PY * g.PZ }
+
+// Rank returns the rank of grid position (i, j, k).
+func (g NodeGrid) Rank(i, j, k int) int { return (k*g.PY+j)*g.PX + i }
+
+// Coords returns the grid position of a rank.
+func (g NodeGrid) Coords(rank int) (i, j, k int) {
+	i = rank % g.PX
+	j = (rank / g.PX) % g.PY
+	k = rank / (g.PX * g.PY)
+	return
+}
+
+// Valid reports whether the grid has positive extents.
+func (g NodeGrid) Valid() bool { return g.PX > 0 && g.PY > 0 && g.PZ > 0 }
+
+func (g NodeGrid) String() string {
+	return fmt.Sprintf("%dx%dx%d", g.PX, g.PY, g.PZ)
+}
+
+// Arrange2D factors n nodes into the most square PX x PY x 1 grid with
+// PX >= PY, matching the paper's arrangements (e.g. 30 nodes -> 6x5,
+// 32 -> 8x4, 28 -> 7x4).
+func Arrange2D(n int) NodeGrid {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: invalid node count %d", n))
+	}
+	best := NodeGrid{PX: n, PY: 1, PZ: 1}
+	for py := 1; py*py <= n; py++ {
+		if n%py == 0 {
+			best = NodeGrid{PX: n / py, PY: py, PZ: 1}
+		}
+	}
+	return best
+}
+
+// Arrange3D factors n nodes into the most cubic PX x PY x PZ grid with
+// PX >= PY >= PZ.
+func Arrange3D(n int) NodeGrid {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: invalid node count %d", n))
+	}
+	best := NodeGrid{PX: n, PY: 1, PZ: 1}
+	bestCost := math.Inf(1)
+	for pz := 1; pz*pz*pz <= n; pz++ {
+		if n%pz != 0 {
+			continue
+		}
+		m := n / pz
+		for py := pz; py*py <= m; py++ {
+			if m%py != 0 {
+				continue
+			}
+			px := m / py
+			// Cost: total surface of the unit-volume decomposition.
+			cost := float64(px*py + py*pz + px*pz)
+			if cost < bestCost {
+				bestCost = cost
+				best = NodeGrid{PX: px, PY: py, PZ: pz}
+			}
+		}
+	}
+	return best
+}
+
+// Pattern selects between the paper's indirect diagonal routing and the
+// direct diagonal exchange used as an ablation baseline.
+type Pattern int
+
+const (
+	// Indirect is the paper's pattern: only axial exchange steps;
+	// diagonal data ride through the intermediate node in two hops.
+	Indirect Pattern = iota
+	// Direct adds explicit pairwise steps for each diagonal direction.
+	Direct
+)
+
+// Pair is one pairwise exchange between ranks A and B.
+type Pair struct {
+	A, B int
+}
+
+// Step is one synchronous schedule step: a set of pairwise-disjoint
+// exchanges all along the same axis.
+type Step struct {
+	// Axis is the direction from A to B (one of the D3Q19 link
+	// directions, excluding rest): axial steps have one nonzero
+	// component, diagonal steps two.
+	Axis [3]int
+	// Pairs lists the disjoint node pairs exchanging in this step.
+	Pairs []Pair
+}
+
+// Diagonal reports whether the step exchanges along a diagonal axis.
+func (s Step) Diagonal() bool {
+	n := 0
+	for _, a := range s.Axis {
+		if a != 0 {
+			n++
+		}
+	}
+	return n > 1
+}
+
+// Build constructs the schedule for grid g under the given pattern. Steps
+// are ordered x, y, z (then diagonals for Direct); within each dimension
+// the "left"/"negative" step precedes the "right"/"positive" one, as in
+// Figure 7.
+func Build(g NodeGrid, p Pattern) []Step {
+	if !g.Valid() {
+		panic(fmt.Sprintf("sched: invalid grid %v", g))
+	}
+	var steps []Step
+	// Axial steps, dimension by dimension. For each dimension two steps:
+	// pairs (2i-1, 2i) then pairs (2i, 2i+1).
+	for dim := 0; dim < 3; dim++ {
+		extent := [3]int{g.PX, g.PY, g.PZ}[dim]
+		if extent <= 1 {
+			continue
+		}
+		for parity := 1; parity >= 0; parity-- {
+			// parity 1: pairs starting at odd coordinates (the (2i)th
+			// columns exchanging with their left neighbors); parity 0:
+			// pairs starting at even coordinates.
+			var axis [3]int
+			axis[dim] = 1
+			var pairs []Pair
+			forEachPosition(g, func(i, j, k int) {
+				c := [3]int{i, j, k}[dim]
+				if c%2 == parity && c+1 < extent {
+					a := g.Rank(i, j, k)
+					var di, dj, dk int
+					switch dim {
+					case 0:
+						di = 1
+					case 1:
+						dj = 1
+					default:
+						dk = 1
+					}
+					pairs = append(pairs, Pair{A: a, B: g.Rank(i+di, j+dj, k+dk)})
+				}
+			})
+			if len(pairs) > 0 {
+				steps = append(steps, Step{Axis: axis, Pairs: pairs})
+			}
+		}
+	}
+	if p == Direct {
+		steps = append(steps, diagonalSteps(g)...)
+	}
+	return steps
+}
+
+// diagonalSteps builds explicit second-nearest-neighbor exchange steps
+// for the Direct pattern: for each of the (up to 6) diagonal directions
+// of D3Q19 present in the grid, two parity steps of disjoint pairs.
+func diagonalSteps(g NodeGrid) []Step {
+	dirs := [][3]int{
+		{1, 1, 0}, {1, -1, 0},
+		{1, 0, 1}, {1, 0, -1},
+		{0, 1, 1}, {0, 1, -1},
+	}
+	var steps []Step
+	for _, d := range dirs {
+		if d[0] != 0 && g.PX <= 1 {
+			continue
+		}
+		if d[1] != 0 && g.PY <= 1 {
+			continue
+		}
+		if d[2] != 0 && g.PZ <= 1 {
+			continue
+		}
+		// Color by the coordinate along the first nonzero component of
+		// the direction: alternating parities give disjoint pairs.
+		primary := 0
+		if d[0] == 0 {
+			primary = 1
+		}
+		for parity := 0; parity < 2; parity++ {
+			var pairs []Pair
+			forEachPosition(g, func(i, j, k int) {
+				c := [3]int{i, j, k}
+				if c[primary]%2 != parity {
+					return
+				}
+				ni, nj, nk := i+d[0], j+d[1], k+d[2]
+				if ni < 0 || ni >= g.PX || nj < 0 || nj >= g.PY || nk < 0 || nk >= g.PZ {
+					return
+				}
+				pairs = append(pairs, Pair{A: g.Rank(i, j, k), B: g.Rank(ni, nj, nk)})
+			})
+			if len(pairs) > 0 {
+				steps = append(steps, Step{Axis: d, Pairs: pairs})
+			}
+		}
+	}
+	return steps
+}
+
+func forEachPosition(g NodeGrid, visit func(i, j, k int)) {
+	for k := 0; k < g.PZ; k++ {
+		for j := 0; j < g.PY; j++ {
+			for i := 0; i < g.PX; i++ {
+				visit(i, j, k)
+			}
+		}
+	}
+}
+
+// Neighbors returns the axial neighbor count of each rank — the quantity
+// that drives GPU<->CPU border-transfer cost in the performance model.
+func Neighbors(g NodeGrid) []int {
+	out := make([]int, g.Size())
+	forEachPosition(g, func(i, j, k int) {
+		n := 0
+		if i > 0 {
+			n++
+		}
+		if i < g.PX-1 {
+			n++
+		}
+		if j > 0 {
+			n++
+		}
+		if j < g.PY-1 {
+			n++
+		}
+		if k > 0 {
+			n++
+		}
+		if k < g.PZ-1 {
+			n++
+		}
+		out[g.Rank(i, j, k)] = n
+	})
+	return out
+}
+
+// MaxNeighbors returns the maximum axial neighbor count over all ranks.
+func MaxNeighbors(g NodeGrid) int {
+	m := 0
+	for _, n := range Neighbors(g) {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}

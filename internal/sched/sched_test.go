@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArrange2DMatchesPaper(t *testing.T) {
+	// The arrangements implied by Table 1's node counts.
+	cases := map[int]NodeGrid{
+		1:  {1, 1, 1},
+		2:  {2, 1, 1},
+		4:  {2, 2, 1},
+		8:  {4, 2, 1},
+		12: {4, 3, 1},
+		16: {4, 4, 1},
+		20: {5, 4, 1},
+		24: {6, 4, 1},
+		28: {7, 4, 1},
+		30: {6, 5, 1},
+		32: {8, 4, 1},
+	}
+	for n, want := range cases {
+		if got := Arrange2D(n); got != want {
+			t.Errorf("Arrange2D(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestArrange3D(t *testing.T) {
+	if got := Arrange3D(8); got != (NodeGrid{2, 2, 2}) {
+		t.Errorf("Arrange3D(8) = %v", got)
+	}
+	if got := Arrange3D(27); got != (NodeGrid{3, 3, 3}) {
+		t.Errorf("Arrange3D(27) = %v", got)
+	}
+	if got := Arrange3D(12); got.Size() != 12 {
+		t.Errorf("Arrange3D(12) = %v", got)
+	}
+}
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	g := NodeGrid{5, 4, 3}
+	for r := 0; r < g.Size(); r++ {
+		i, j, k := g.Coords(r)
+		if g.Rank(i, j, k) != r {
+			t.Fatalf("round trip failed for rank %d", r)
+		}
+	}
+}
+
+func TestScheduleStepsAreDisjoint(t *testing.T) {
+	for _, g := range []NodeGrid{{4, 4, 1}, {7, 4, 1}, {3, 3, 3}, {8, 1, 1}, {1, 1, 1}} {
+		for _, p := range []Pattern{Indirect, Direct} {
+			for si, s := range Build(g, p) {
+				seen := map[int]bool{}
+				for _, pr := range s.Pairs {
+					if pr.A == pr.B {
+						t.Errorf("grid %v step %d: self pair", g, si)
+					}
+					if seen[pr.A] || seen[pr.B] {
+						t.Errorf("grid %v step %d: node reused", g, si)
+					}
+					seen[pr.A], seen[pr.B] = true, true
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleCoversAllAxialPairs(t *testing.T) {
+	// Every pair of axially adjacent nodes must exchange exactly once
+	// per direction over the schedule.
+	for _, g := range []NodeGrid{{4, 4, 1}, {7, 4, 1}, {6, 5, 1}, {3, 3, 2}, {2, 1, 1}} {
+		steps := Build(g, Indirect)
+		count := map[Pair]int{}
+		for _, s := range steps {
+			if s.Diagonal() {
+				t.Errorf("grid %v: indirect schedule contains diagonal step", g)
+			}
+			for _, pr := range s.Pairs {
+				count[pr]++
+			}
+		}
+		forEachPosition(g, func(i, j, k int) {
+			a := g.Rank(i, j, k)
+			if i+1 < g.PX {
+				if count[Pair{a, g.Rank(i+1, j, k)}] != 1 {
+					t.Errorf("grid %v: x pair at (%d,%d,%d) covered %d times",
+						g, i, j, k, count[Pair{a, g.Rank(i+1, j, k)}])
+				}
+			}
+			if j+1 < g.PY {
+				if count[Pair{a, g.Rank(i, j+1, k)}] != 1 {
+					t.Errorf("grid %v: y pair at (%d,%d,%d) not covered once", g, i, j, k)
+				}
+			}
+			if k+1 < g.PZ {
+				if count[Pair{a, g.Rank(i, j, k+1)}] != 1 {
+					t.Errorf("grid %v: z pair at (%d,%d,%d) not covered once", g, i, j, k)
+				}
+			}
+		})
+	}
+}
+
+func TestIndirectStepCount(t *testing.T) {
+	// Figure 7: a 2D arrangement has 4 steps; 3D has 6; a line has 2.
+	cases := []struct {
+		g    NodeGrid
+		want int
+	}{
+		{NodeGrid{4, 4, 1}, 4},
+		{NodeGrid{4, 1, 1}, 2},
+		{NodeGrid{3, 3, 3}, 6},
+		{NodeGrid{1, 1, 1}, 0},
+		{NodeGrid{2, 1, 1}, 1}, // a single pair: only one parity step exists
+	}
+	for _, c := range cases {
+		if got := len(Build(c.g, Indirect)); got != c.want {
+			t.Errorf("steps(%v) = %d, want %d", c.g, got, c.want)
+		}
+	}
+}
+
+func TestDirectAddsDiagonalSteps(t *testing.T) {
+	g := NodeGrid{4, 4, 1}
+	ind := Build(g, Indirect)
+	dir := Build(g, Direct)
+	if len(dir) <= len(ind) {
+		t.Fatalf("direct (%d steps) should exceed indirect (%d)", len(dir), len(ind))
+	}
+	diag := 0
+	for _, s := range dir {
+		if s.Diagonal() {
+			diag++
+		}
+	}
+	// 2D grid: two diagonal directions, up to two parity steps each.
+	if diag < 2 || diag > 4 {
+		t.Errorf("diagonal step count = %d", diag)
+	}
+}
+
+func TestDirectCoversDiagonalPairs(t *testing.T) {
+	g := NodeGrid{4, 4, 1}
+	count := map[Pair]int{}
+	for _, s := range Build(g, Direct) {
+		if !s.Diagonal() {
+			continue
+		}
+		for _, pr := range s.Pairs {
+			count[pr]++
+		}
+	}
+	forEachPosition(g, func(i, j, k int) {
+		a := g.Rank(i, j, k)
+		for _, d := range [][2]int{{1, 1}, {1, -1}} {
+			ni, nj := i+d[0], j+d[1]
+			if ni < 0 || ni >= g.PX || nj < 0 || nj >= g.PY {
+				continue
+			}
+			if count[Pair{a, g.Rank(ni, nj, k)}] != 1 {
+				t.Errorf("diagonal pair (%d,%d)->(%d,%d) covered %d times",
+					i, j, ni, nj, count[Pair{a, g.Rank(ni, nj, k)}])
+			}
+		}
+	})
+}
+
+func TestNeighbors(t *testing.T) {
+	g := NodeGrid{3, 3, 1}
+	n := Neighbors(g)
+	// Corner has 2, edge 3, center 4.
+	if n[g.Rank(0, 0, 0)] != 2 {
+		t.Errorf("corner neighbors = %d", n[g.Rank(0, 0, 0)])
+	}
+	if n[g.Rank(1, 0, 0)] != 3 {
+		t.Errorf("edge neighbors = %d", n[g.Rank(1, 0, 0)])
+	}
+	if n[g.Rank(1, 1, 0)] != 4 {
+		t.Errorf("center neighbors = %d", n[g.Rank(1, 1, 0)])
+	}
+	if MaxNeighbors(g) != 4 {
+		t.Errorf("max = %d", MaxNeighbors(g))
+	}
+	if MaxNeighbors(NodeGrid{1, 1, 1}) != 0 {
+		t.Errorf("single node should have 0 neighbors")
+	}
+}
+
+// Property: for random small grids the indirect schedule is disjoint per
+// step and covers each axial adjacency exactly once.
+func TestScheduleProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		g := NodeGrid{int(a%5) + 1, int(b%5) + 1, int(c%3) + 1}
+		steps := Build(g, Indirect)
+		covered := map[Pair]int{}
+		for _, s := range steps {
+			seen := map[int]bool{}
+			for _, pr := range s.Pairs {
+				if seen[pr.A] || seen[pr.B] {
+					return false
+				}
+				seen[pr.A], seen[pr.B] = true, true
+				covered[pr]++
+			}
+		}
+		want := g.PY*g.PZ*(g.PX-1) + g.PX*g.PZ*(g.PY-1) + g.PX*g.PY*(g.PZ-1)
+		total := 0
+		for _, n := range covered {
+			if n != 1 {
+				return false
+			}
+			total++
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float32) bool {
+	return math.Abs(float64(a-b)) <= 1e-5*(1+math.Abs(float64(a))+math.Abs(float64(b)))
+}
+
+func TestVec4Add(t *testing.T) {
+	got := Vec4{1, 2, 3, 4}.Add(Vec4{10, 20, 30, 40})
+	want := Vec4{11, 22, 33, 44}
+	if got != want {
+		t.Fatalf("Add = %v, want %v", got, want)
+	}
+}
+
+func TestVec4Sub(t *testing.T) {
+	got := Vec4{1, 2, 3, 4}.Sub(Vec4{4, 3, 2, 1})
+	want := Vec4{-3, -1, 1, 3}
+	if got != want {
+		t.Fatalf("Sub = %v, want %v", got, want)
+	}
+}
+
+func TestVec4MulScaleDot(t *testing.T) {
+	v := Vec4{1, 2, 3, 4}
+	if got := v.Mul(Vec4{2, 2, 2, 2}); got != v.Scale(2) {
+		t.Fatalf("Mul by twos %v != Scale(2) %v", got, v.Scale(2))
+	}
+	if got := v.Dot(Vec4{1, 1, 1, 1}); got != 10 {
+		t.Fatalf("Dot = %v, want 10", got)
+	}
+	if got := v.Sum(); got != 10 {
+		t.Fatalf("Sum = %v, want 10", got)
+	}
+}
+
+func TestVec4MulAdd(t *testing.T) {
+	v := Vec4{1, 1, 1, 1}
+	got := v.MulAdd(3, Vec4{1, 2, 3, 4})
+	want := Vec4{4, 7, 10, 13}
+	if got != want {
+		t.Fatalf("MulAdd = %v, want %v", got, want)
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	if v.Norm() != 5 {
+		t.Fatalf("Norm = %v, want 5", v.Norm())
+	}
+	u := v.Normalize()
+	if !almostEq(u.Norm(), 1) {
+		t.Fatalf("Normalize norm = %v, want 1", u.Norm())
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Fatalf("Normalize zero = %v, want zero", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	if got := x.Cross(y); got != (Vec3{0, 0, 1}) {
+		t.Fatalf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != (Vec3{0, 0, -1}) {
+		t.Fatalf("y cross x = %v, want -z", got)
+	}
+}
+
+func TestVec3Lerp(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{2, 4, 8}
+	if got := a.Lerp(b, 0.5); got != (Vec3{1, 2, 4}) {
+		t.Fatalf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Fatalf("Lerp t=0 = %v, want a", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Fatalf("Lerp t=1 = %v, want b", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float32 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// Property: addition commutes and Dot is symmetric.
+func TestVec4Properties(t *testing.T) {
+	commute := func(a, b Vec4) bool {
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(commute, nil); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	dotSym := func(a, b Vec4) bool {
+		d1, d2 := a.Dot(b), b.Dot(a)
+		return d1 == d2 || (math.IsNaN(float64(d1)) && math.IsNaN(float64(d2)))
+	}
+	if err := quick.Check(dotSym, nil); err != nil {
+		t.Errorf("Dot not symmetric: %v", err)
+	}
+}
+
+// Property: cross product is orthogonal to both operands (for finite
+// inputs of moderate magnitude).
+func TestVec3CrossOrthogonal(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		for i := range a {
+			if !finite(a[i]) || !finite(b[i]) || abs32(a[i]) > 1e6 || abs32(b[i]) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 {
+			return c == Vec3{}
+		}
+		return abs32(c.Dot(a))/scale < 1e-4 && abs32(c.Dot(b))/scale < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("cross not orthogonal: %v", err)
+	}
+}
+
+func finite(x float32) bool {
+	f := float64(x)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

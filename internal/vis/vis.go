@@ -1,0 +1,250 @@
+// Package vis renders the dispersion simulation outputs of Section 5:
+// streamline visualizations of the velocity field (Figure 12, colored
+// blue for horizontal flow and white where the flow acquires a vertical
+// component passing over buildings) and orthographic volume projections
+// of the contaminant density (Figure 13). Images are written as binary
+// PPM (P6), which needs no dependencies and every viewer reads.
+package vis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"gpucluster/internal/vecmath"
+)
+
+// VelocityField samples a gathered velocity field with trilinear
+// interpolation.
+type VelocityField struct {
+	NX, NY, NZ int
+	V          []vecmath.Vec3 // x-fastest
+}
+
+// At returns the trilinearly interpolated velocity at a continuous
+// position (clamped to the domain).
+func (f *VelocityField) At(p vecmath.Vec3) vecmath.Vec3 {
+	cl := func(v float32, n int) (int, float32) {
+		if v < 0 {
+			v = 0
+		}
+		if v > float32(n-1) {
+			v = float32(n - 1)
+		}
+		i := int(v)
+		if i >= n-1 {
+			i = n - 2
+			if i < 0 {
+				i = 0
+			}
+		}
+		return i, v - float32(i)
+	}
+	ix, fx := cl(p[0], f.NX)
+	iy, fy := cl(p[1], f.NY)
+	iz, fz := cl(p[2], f.NZ)
+	if f.NX == 1 {
+		fx = 0
+	}
+	if f.NY == 1 {
+		fy = 0
+	}
+	if f.NZ == 1 {
+		fz = 0
+	}
+	at := func(x, y, z int) vecmath.Vec3 {
+		if x >= f.NX {
+			x = f.NX - 1
+		}
+		if y >= f.NY {
+			y = f.NY - 1
+		}
+		if z >= f.NZ {
+			z = f.NZ - 1
+		}
+		return f.V[(z*f.NY+y)*f.NX+x]
+	}
+	c00 := at(ix, iy, iz).Lerp(at(ix+1, iy, iz), fx)
+	c10 := at(ix, iy+1, iz).Lerp(at(ix+1, iy+1, iz), fx)
+	c01 := at(ix, iy, iz+1).Lerp(at(ix+1, iy, iz+1), fx)
+	c11 := at(ix, iy+1, iz+1).Lerp(at(ix+1, iy+1, iz+1), fx)
+	return c00.Lerp(c10, fy).Lerp(c01.Lerp(c11, fy), fz)
+}
+
+// Streamline integrates a path through the field from start using
+// second-order Runge-Kutta (midpoint) steps of size h, stopping after
+// maxSteps or when the speed vanishes or the path leaves the domain.
+func (f *VelocityField) Streamline(start vecmath.Vec3, h float32, maxSteps int) []vecmath.Vec3 {
+	path := []vecmath.Vec3{start}
+	p := start
+	for s := 0; s < maxSteps; s++ {
+		v1 := f.At(p)
+		if v1.Norm() < 1e-8 {
+			break
+		}
+		mid := p.Add(v1.Scale(h / 2 / v1.Norm()))
+		v2 := f.At(mid)
+		if v2.Norm() < 1e-8 {
+			break
+		}
+		p = p.Add(v2.Scale(h / v2.Norm()))
+		if p[0] < 0 || p[0] > float32(f.NX-1) ||
+			p[1] < 0 || p[1] > float32(f.NY-1) ||
+			p[2] < 0 || p[2] > float32(f.NZ-1) {
+			break
+		}
+		path = append(path, p)
+	}
+	return path
+}
+
+// RGB is an 8-bit color.
+type RGB struct{ R, G, B uint8 }
+
+// Image is a simple raster.
+type Image struct {
+	W, H int
+	Pix  []RGB
+}
+
+// NewImage creates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]RGB, w*h)}
+}
+
+// Set writes a pixel, ignoring out-of-range coordinates.
+func (im *Image) Set(x, y int, c RGB) {
+	if x < 0 || x >= im.W || y < 0 || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = c
+}
+
+// At reads a pixel.
+func (im *Image) At(x, y int) RGB { return im.Pix[y*im.W+x] }
+
+// WritePPM encodes the image as binary PPM (P6).
+func (im *Image) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	for _, p := range im.Pix {
+		if _, err := bw.Write([]byte{p.R, p.G, p.B}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// line draws with simple DDA.
+func (im *Image) line(x0, y0, x1, y1 float32, c RGB) {
+	dx, dy := x1-x0, y1-y0
+	steps := int(math.Max(math.Abs(float64(dx)), math.Abs(float64(dy)))) + 1
+	for i := 0; i <= steps; i++ {
+		t := float32(i) / float32(steps)
+		im.Set(int(x0+t*dx+0.5), int(y0+t*dy+0.5), c)
+	}
+}
+
+// StreamlineColor implements the paper's Figure 12 coloring: blue where
+// the velocity is approximately horizontal, blending to white as the
+// vertical component grows (flow passing over buildings).
+func StreamlineColor(v vecmath.Vec3) RGB {
+	n := v.Norm()
+	if n == 0 {
+		return RGB{60, 60, 200}
+	}
+	vert := float32(math.Abs(float64(v[2]))) / n
+	w := vecmath.Clamp(vert*3, 0, 1) // emphasize vertical motion
+	r := uint8(60 + w*195)
+	g := uint8(60 + w*195)
+	return RGB{r, g, 255}
+}
+
+// RenderStreamlinesTopDown draws streamlines projected onto the ground
+// plane over a building-footprint background, scaled to a w x h image.
+func RenderStreamlinesTopDown(f *VelocityField, solid func(x, y, z int) bool,
+	seeds []vecmath.Vec3, w, h int) *Image {
+	im := NewImage(w, h)
+	sx := float32(w) / float32(f.NX)
+	sy := float32(h) / float32(f.NY)
+	// Background: dark gray buildings on black streets.
+	if solid != nil {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				gx := int(float32(x) / sx)
+				gy := int(float32(y) / sy)
+				if solid(gx, gy, 0) {
+					im.Set(x, y, RGB{70, 70, 70})
+				}
+			}
+		}
+	}
+	for _, s := range seeds {
+		path := f.Streamline(s, 0.5, 4*f.NX)
+		for i := 1; i < len(path); i++ {
+			c := StreamlineColor(f.At(path[i]))
+			im.line(path[i-1][0]*sx, path[i-1][1]*sy, path[i][0]*sx, path[i][1]*sy, c)
+		}
+		// Seed markers in red, as in Figure 12.
+		im.Set(int(s[0]*sx), int(s[1]*sy), RGB{255, 40, 40})
+	}
+	return im
+}
+
+// RenderVolumeTopDown projects a density volume onto the ground plane
+// (emission-only orthographic ray marching along z) in an orange
+// contaminant palette over the footprint background, Figure 13 style.
+func RenderVolumeTopDown(nx, ny, nz int, density []float32,
+	solid func(x, y, z int) bool, w, h int) *Image {
+	im := NewImage(w, h)
+	var maxCol float32
+	cols := make([]float32, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			var acc float32
+			for z := 0; z < nz; z++ {
+				acc += density[(z*ny+y)*nx+x]
+			}
+			cols[y*nx+x] = acc
+			if acc > maxCol {
+				maxCol = acc
+			}
+		}
+	}
+	if maxCol == 0 {
+		maxCol = 1
+	}
+	sx := float32(w) / float32(nx)
+	sy := float32(h) / float32(ny)
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			gx := int(float32(px) / sx)
+			gy := int(float32(py) / sy)
+			if gx >= nx {
+				gx = nx - 1
+			}
+			if gy >= ny {
+				gy = ny - 1
+			}
+			var base RGB
+			if solid != nil && solid(gx, gy, 0) {
+				base = RGB{70, 70, 70}
+			}
+			d := cols[gy*nx+gx] / maxCol
+			if d > 0 {
+				// log-ish ramp for visibility of thin plumes
+				v := vecmath.Clamp(float32(math.Pow(float64(d), 0.4)), 0, 1)
+				base = RGB{
+					R: uint8(float32(base.R)*(1-v) + 255*v),
+					G: uint8(float32(base.G)*(1-v) + 140*v),
+					B: uint8(float32(base.B) * (1 - v)),
+				}
+			}
+			im.Set(px, py, base)
+		}
+	}
+	return im
+}

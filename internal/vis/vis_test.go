@@ -1,0 +1,169 @@
+package vis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gpucluster/internal/vecmath"
+)
+
+func uniformField(nx, ny, nz int, v vecmath.Vec3) *VelocityField {
+	f := &VelocityField{NX: nx, NY: ny, NZ: nz, V: make([]vecmath.Vec3, nx*ny*nz)}
+	for i := range f.V {
+		f.V[i] = v
+	}
+	return f
+}
+
+func TestTrilinearReproducesLinearField(t *testing.T) {
+	// u_x = x + 2y + 3z is reproduced exactly by trilinear interpolation.
+	f := &VelocityField{NX: 8, NY: 8, NZ: 8, V: make([]vecmath.Vec3, 512)}
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				f.V[(z*8+y)*8+x] = vecmath.Vec3{float32(x) + 2*float32(y) + 3*float32(z), 0, 0}
+			}
+		}
+	}
+	probes := []vecmath.Vec3{{1.5, 2.25, 3.75}, {0, 0, 0}, {6.9, 6.9, 6.9}, {3.1, 0.4, 5.5}}
+	for _, p := range probes {
+		want := p[0] + 2*p[1] + 3*p[2]
+		got := f.At(p)[0]
+		if math.Abs(float64(got-want)) > 1e-4 {
+			t.Errorf("At(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestTrilinearClampsOutside(t *testing.T) {
+	f := uniformField(4, 4, 4, vecmath.Vec3{1, 0, 0})
+	if got := f.At(vecmath.Vec3{-5, -5, -5}); got != (vecmath.Vec3{1, 0, 0}) {
+		t.Errorf("clamped sample = %v", got)
+	}
+	if got := f.At(vecmath.Vec3{99, 99, 99}); got != (vecmath.Vec3{1, 0, 0}) {
+		t.Errorf("clamped sample = %v", got)
+	}
+}
+
+func TestStreamlineStraightInUniformFlow(t *testing.T) {
+	f := uniformField(32, 8, 8, vecmath.Vec3{0.1, 0, 0})
+	path := f.Streamline(vecmath.Vec3{1, 4, 4}, 0.5, 200)
+	if len(path) < 10 {
+		t.Fatalf("path too short: %d", len(path))
+	}
+	last := path[len(path)-1]
+	if last[0] <= 25 {
+		t.Errorf("streamline should cross the domain, ended at %v", last)
+	}
+	for _, p := range path {
+		if math.Abs(float64(p[1]-4)) > 1e-3 || math.Abs(float64(p[2]-4)) > 1e-3 {
+			t.Fatalf("streamline deviated in uniform flow: %v", p)
+		}
+	}
+}
+
+func TestStreamlineStopsAtStagnation(t *testing.T) {
+	f := uniformField(8, 8, 8, vecmath.Vec3{})
+	path := f.Streamline(vecmath.Vec3{4, 4, 4}, 0.5, 100)
+	if len(path) != 1 {
+		t.Errorf("streamline in still fluid should not move: %d points", len(path))
+	}
+}
+
+func TestStreamlineColor(t *testing.T) {
+	horizontal := StreamlineColor(vecmath.Vec3{0.1, 0.05, 0})
+	vertical := StreamlineColor(vecmath.Vec3{0, 0, 0.1})
+	if horizontal.R >= 128 {
+		t.Errorf("horizontal flow should be blue-ish, got %+v", horizontal)
+	}
+	if vertical.R != 255 || vertical.G != 255 {
+		t.Errorf("vertical flow should be white, got %+v", vertical)
+	}
+	if horizontal.B != 255 || vertical.B != 255 {
+		t.Error("blue channel anchors the palette")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	im := NewImage(3, 2)
+	im.Set(0, 0, RGB{255, 0, 0})
+	im.Set(2, 1, RGB{0, 0, 255})
+	var buf bytes.Buffer
+	if err := im.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P6\n3 2\n255\n") {
+		t.Fatalf("bad header: %q", s[:12])
+	}
+	if buf.Len() != len("P6\n3 2\n255\n")+3*2*3 {
+		t.Errorf("payload length = %d", buf.Len())
+	}
+	// First pixel red.
+	body := buf.Bytes()[len("P6\n3 2\n255\n"):]
+	if body[0] != 255 || body[1] != 0 || body[2] != 0 {
+		t.Errorf("first pixel = %v", body[:3])
+	}
+}
+
+func TestSetIgnoresOutOfRange(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(-1, 0, RGB{1, 1, 1})
+	im.Set(5, 5, RGB{1, 1, 1})
+	for _, p := range im.Pix {
+		if p != (RGB{}) {
+			t.Fatal("out-of-range set leaked")
+		}
+	}
+}
+
+func TestRenderStreamlinesProducesInk(t *testing.T) {
+	f := uniformField(16, 16, 4, vecmath.Vec3{0.1, 0.02, 0})
+	solid := func(x, y, z int) bool { return x >= 6 && x < 8 && y >= 6 && y < 8 }
+	seeds := []vecmath.Vec3{{1, 4, 1}, {1, 8, 1}, {1, 12, 1}}
+	im := RenderStreamlinesTopDown(f, solid, seeds, 64, 64)
+	var colored, gray int
+	for _, p := range im.Pix {
+		switch {
+		case p.B == 255:
+			colored++
+		case p.R == 70 && p.G == 70:
+			gray++
+		}
+	}
+	if colored < 50 {
+		t.Errorf("expected streamline pixels, got %d", colored)
+	}
+	if gray == 0 {
+		t.Error("expected building footprint pixels")
+	}
+}
+
+func TestRenderVolumeHighlightsPlume(t *testing.T) {
+	const nx, ny, nz = 16, 16, 4
+	den := make([]float32, nx*ny*nz)
+	// Plume column at (10, 5).
+	for z := 0; z < nz; z++ {
+		den[(z*ny+5)*nx+10] = 3
+	}
+	im := RenderVolumeTopDown(nx, ny, nz, den, nil, 32, 32)
+	// The plume pixel block is bright orange; a far corner stays black.
+	p := im.At(21, 11) // maps to grid (10, 5)
+	if p.R < 200 || p.B != 0 {
+		t.Errorf("plume pixel = %+v, want orange", p)
+	}
+	if c := im.At(2, 25); c != (RGB{}) {
+		t.Errorf("empty region pixel = %+v, want black", c)
+	}
+}
+
+func TestRenderVolumeEmptyDensity(t *testing.T) {
+	im := RenderVolumeTopDown(4, 4, 2, make([]float32, 32), nil, 8, 8)
+	for _, p := range im.Pix {
+		if p != (RGB{}) {
+			t.Fatal("empty volume should render black")
+		}
+	}
+}
