@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"testing"
 
+	"gpucluster/internal/batch"
 	"gpucluster/internal/city"
 	"gpucluster/internal/cluster"
 	"gpucluster/internal/gpu"
 	"gpucluster/internal/lbm"
 	"gpucluster/internal/lbmgpu"
+	"gpucluster/internal/netsim"
 	"gpucluster/internal/perfmodel"
 	"gpucluster/internal/sched"
 	"gpucluster/internal/sparse"
@@ -272,6 +274,31 @@ func BenchmarkCGPoisson(b *testing.B) {
 			b.Fatal("CG failed")
 		}
 	}
+}
+
+// BenchmarkBatchThroughput measures batch-scheduler throughput: jobs
+// placed per second draining a 1000-job mixed queue (LBM, CG, PDE
+// kinds) on a 32-node cluster under EASY backfill. Estimation runs
+// through the perfmodel at submit; nothing executes.
+func BenchmarkBatchThroughput(b *testing.B) {
+	const jobs = 1000
+	for i := 0; i < b.N; i++ {
+		s := batch.New(batch.Config{
+			Cluster: batch.NewCluster(32, netsim.GigabitSwitch(32)),
+			Policy:  batch.Backfill,
+		})
+		for _, j := range batch.SyntheticMix(1, jobs, 32) {
+			if err := s.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep := s.Run()
+		if len(rep.Jobs) != jobs {
+			b.Fatalf("finished %d of %d jobs", len(rep.Jobs), jobs)
+		}
+		sink = rep
+	}
+	b.ReportMetric(jobs*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // BenchmarkGPUMatVec measures the indirection-texture sparse matvec.

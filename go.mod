@@ -1,0 +1,3 @@
+module gpucluster
+
+go 1.24

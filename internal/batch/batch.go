@@ -1,0 +1,149 @@
+// Package batch is a Slurm-like batch scheduler and resource manager
+// for the simulated GPU cluster. The paper's 32-node cluster is shared
+// infrastructure: in practice such machines are driven through a batch
+// front door that queues job submissions, gang-allocates node ranges,
+// and accounts utilization — not through hand-written per-experiment
+// mains. This package supplies that layer for the simulators grown from
+// the paper: a Cluster of nodes (GPU count, memory, interconnect group
+// derived from the netsim switch topology), a Job spec (gang size,
+// estimated runtime, priority, workload kind), a priority queue with
+// FIFO and EASY-backfill policies, and a job lifecycle driven by a
+// virtual-time event loop. Workload adapters execute jobs on the
+// functional simulators (cluster LBM + tracer, distributed CG, parallel
+// heat stencil) and derive runtime estimates from the calibrated
+// perfmodel hardware model.
+//
+// All scheduling time is virtual (time.Duration since scheduler start);
+// nothing sleeps. Only workload execution — when an Executor is
+// attached — does real work.
+package batch
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobKind identifies the workload class a job runs, one per
+// computational kernel family the paper's cluster serves.
+type JobKind int
+
+const (
+	// KindLBM is a parallel lattice-Boltzmann flow simulation (package
+	// cluster) with an optional pollutant-tracer post-pass (package
+	// tracer), the paper's primary workload.
+	KindLBM JobKind = iota
+	// KindCG is a distributed conjugate-gradient solve of a Poisson
+	// system (package sparse, Figure 15 decomposition).
+	KindCG
+	// KindPDE is a cluster-parallel explicit heat stencil (package pde,
+	// Figure 14 proxy-point exchange).
+	KindPDE
+	numKinds
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case KindLBM:
+		return "lbm"
+	case KindCG:
+		return "cg"
+	case KindPDE:
+		return "pde"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// JobState is a job's lifecycle position: Queued -> Running -> Done or
+// Failed.
+type JobState int
+
+const (
+	// Queued means submitted and waiting for an allocation.
+	Queued JobState = iota
+	// Running means gang-allocated and executing.
+	Running
+	// Done means completed successfully.
+	Done
+	// Failed means the workload reported an error; the job still
+	// occupied its allocation for its full runtime (a crash at the end
+	// of the run, the common failure shape on real clusters).
+	Failed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Job is one batch submission. Callers fill the spec fields; the
+// scheduler owns the lifecycle fields after Submit.
+type Job struct {
+	// ID is assigned by Submit, unique per scheduler.
+	ID int
+	// Name is a free-form label for reports.
+	Name string
+	// Kind selects the workload adapter.
+	Kind JobKind
+	// Nodes is the gang size: the job needs this many nodes, allocated
+	// as one contiguous range, for its whole runtime.
+	Nodes int
+	// Priority orders the queue; higher runs first. Equal priorities
+	// fall back to submit order.
+	Priority int
+	// Problem is the per-node sub-domain extents for KindLBM/KindPDE,
+	// or {n, n, 1} selecting an n x n Poisson grid for KindCG. Zero
+	// selects a per-kind default.
+	Problem [3]int
+	// Steps counts simulation steps (LBM/PDE) or solver iterations
+	// (CG); zero means 1.
+	Steps int
+	// Est is the caller's runtime estimate (Slurm's walltime); zero
+	// asks the scheduler's Estimator. Backfill reservations trust this
+	// value, exactly like the real thing.
+	Est time.Duration
+	// Submit is the virtual arrival time. Jobs may be submitted with a
+	// future arrival; the scheduler holds them until the clock reaches
+	// it. Zero means "now".
+	Submit time.Duration
+
+	// State, Start and End are scheduler-owned lifecycle fields.
+	State      JobState
+	Start, End time.Duration
+	// Alloc is the gang allocation while Running and after completion.
+	Alloc Allocation
+	// Detail is the workload adapter's result summary (mass balance,
+	// solver residual, tracer centroid, ...).
+	Detail string
+	// Err records the workload failure for Failed jobs.
+	Err error
+
+	est        time.Duration // resolved estimate, fixed at submit
+	backfilled bool
+}
+
+// Estimate returns the runtime estimate the scheduler resolved at
+// submit time (Est, or the Estimator's answer).
+func (j *Job) Estimate() time.Duration { return j.est }
+
+// Wait returns the queue wait time (Start - Submit) for started jobs.
+func (j *Job) Wait() time.Duration { return j.Start - j.Submit }
+
+// Runtime returns End - Start for completed jobs.
+func (j *Job) Runtime() time.Duration { return j.End - j.Start }
+
+// Backfilled reports whether the job jumped a blocked higher-priority
+// job under the backfill policy.
+func (j *Job) Backfilled() bool { return j.backfilled }
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d %q (%s, %d nodes, prio %d)", j.ID, j.Name, j.Kind, j.Nodes, j.Priority)
+}

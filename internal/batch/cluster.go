@@ -1,0 +1,171 @@
+package batch
+
+import (
+	"fmt"
+	"time"
+
+	"gpucluster/internal/netsim"
+	"gpucluster/internal/sched"
+)
+
+// NodeSpec describes one cluster node. The defaults mirror the paper's
+// Stony Brook machine: one GeForce FX 5800 Ultra per node, 2.5 GB of
+// host memory.
+type NodeSpec struct {
+	// GPUs is the accelerator count.
+	GPUs int
+	// MemBytes is the host memory available to a job's per-node block.
+	MemBytes int64
+	// Group is the interconnect group derived from the switch topology:
+	// 0 for ports on the primary non-blocking switch, 1 for ports
+	// reached through the stacking trunk (netsim.Config.NonBlockingPorts).
+	Group int
+}
+
+// Allocation is a gang of contiguous nodes granted to one job.
+// Contiguity keeps a job's ranks on neighboring switch ports, the
+// placement the paper's pairwise schedule assumes.
+type Allocation struct {
+	// First is the lowest node index; the gang is [First, First+Count).
+	First, Count int
+	// Grid maps the gang onto the most cubic 3D arrangement for the
+	// workload's domain decomposition (sched.Arrange3D).
+	Grid sched.NodeGrid
+	// CrossesTrunk reports whether the range spans both interconnect
+	// groups, so the job's border exchanges pay the stacking-trunk
+	// bandwidth of Section 4.3.
+	CrossesTrunk bool
+}
+
+// Nodes returns the allocated node indices in rank order.
+func (a Allocation) Nodes() []int {
+	out := make([]int, a.Count)
+	for i := range out {
+		out[i] = a.First + i
+	}
+	return out
+}
+
+func (a Allocation) String() string {
+	return fmt.Sprintf("nodes [%d,%d) as %v", a.First, a.First+a.Count, a.Grid)
+}
+
+// Cluster is the resource manager's machine state: homogeneous nodes on
+// the simulated switch, a free/used bitmap for gang allocation, and
+// per-node busy accounting for the utilization report.
+type Cluster struct {
+	nodes []NodeSpec
+	net   netsim.Config
+	used  []bool
+	busy  []time.Duration
+}
+
+// NewCluster builds an n-node cluster attached to the given switch
+// configuration; node interconnect groups follow net.NonBlockingPorts.
+func NewCluster(n int, net netsim.Config) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("batch: invalid cluster size %d", n))
+	}
+	c := &Cluster{
+		nodes: make([]NodeSpec, n),
+		net:   net,
+		used:  make([]bool, n),
+		busy:  make([]time.Duration, n),
+	}
+	for i := range c.nodes {
+		group := 0
+		if net.NonBlockingPorts > 0 && i >= net.NonBlockingPorts {
+			group = 1
+		}
+		c.nodes[i] = NodeSpec{GPUs: 1, MemBytes: 2560 << 20, Group: group}
+	}
+	return c
+}
+
+// Size returns the node count.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Spec returns node i's description.
+func (c *Cluster) Spec(i int) NodeSpec { return c.nodes[i] }
+
+// Net returns the interconnect configuration.
+func (c *Cluster) Net() netsim.Config { return c.net }
+
+// FreeNodes returns how many nodes are currently unallocated.
+func (c *Cluster) FreeNodes() int {
+	n := 0
+	for _, u := range c.used {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+// contiguousFit returns the start of the first free run of k nodes in
+// the bitmap, or -1. Shared by live allocation and the backfill
+// shadow-time simulation.
+func contiguousFit(used []bool, k int) int {
+	run := 0
+	for i, u := range used {
+		if u {
+			run = 0
+			continue
+		}
+		run++
+		if run == k {
+			return i - k + 1
+		}
+	}
+	return -1
+}
+
+// Alloc gang-allocates the first contiguous free range of k nodes,
+// mapped through sched.Arrange3D. It reports false when no such range
+// exists.
+func (c *Cluster) Alloc(k int) (Allocation, bool) {
+	if k <= 0 || k > len(c.nodes) {
+		return Allocation{}, false
+	}
+	first := contiguousFit(c.used, k)
+	if first < 0 {
+		return Allocation{}, false
+	}
+	for i := first; i < first+k; i++ {
+		c.used[i] = true
+	}
+	a := Allocation{
+		First: first,
+		Count: k,
+		Grid:  sched.Arrange3D(k),
+	}
+	nb := c.net.NonBlockingPorts
+	a.CrossesTrunk = nb > 0 && nb < len(c.nodes) && first < nb && first+k > nb
+	return a, true
+}
+
+// Release frees an allocation and credits each node's busy accounting
+// with the job's runtime.
+func (c *Cluster) Release(a Allocation, ran time.Duration) {
+	for i := a.First; i < a.First+a.Count; i++ {
+		if !c.used[i] {
+			panic(fmt.Sprintf("batch: double release of node %d", i))
+		}
+		c.used[i] = false
+		c.busy[i] += ran
+	}
+}
+
+// BusyTimes returns a copy of per-node accumulated busy time.
+func (c *Cluster) BusyTimes() []time.Duration {
+	out := make([]time.Duration, len(c.busy))
+	copy(out, c.busy)
+	return out
+}
+
+// usedCopy snapshots the allocation bitmap for shadow-time simulation.
+func (c *Cluster) usedCopy() []bool {
+	out := make([]bool, len(c.used))
+	copy(out, c.used)
+	return out
+}

@@ -1,0 +1,93 @@
+package batch
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+)
+
+// queueLess is the queue discipline: priority descending, then arrival
+// time, then submission order.
+func queueLess(a, b *Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// queue holds pending jobs. It is a lazily sorted slice rather than a
+// heap because every scheduling pass scans the whole eligible prefix in
+// order (FIFO head-of-line, backfill candidates), not just the top.
+type queue struct {
+	jobs  []*Job
+	dirty bool
+}
+
+func (q *queue) push(j *Job) {
+	q.jobs = append(q.jobs, j)
+	q.dirty = true
+}
+
+// ordered returns the pending jobs in queue order; the slice is owned
+// by the queue and valid until the next push/remove.
+func (q *queue) ordered() []*Job {
+	if q.dirty {
+		sort.SliceStable(q.jobs, func(i, k int) bool { return queueLess(q.jobs[i], q.jobs[k]) })
+		q.dirty = false
+	}
+	return q.jobs
+}
+
+// remove deletes a job (by identity) preserving order.
+func (q *queue) remove(j *Job) {
+	for i, other := range q.jobs {
+		if other == j {
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *queue) len() int { return len(q.jobs) }
+
+// nextArrival returns the earliest Submit time strictly after now among
+// pending jobs, for advancing the clock across idle gaps.
+func (q *queue) nextArrival(now time.Duration) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, j := range q.jobs {
+		if j.Submit > now && (!found || j.Submit < best) {
+			best = j.Submit
+			found = true
+		}
+	}
+	return best, found
+}
+
+// eventHeap orders running jobs by completion time (ties by ID for
+// determinism); it doubles as the running set for shadow-time
+// simulation.
+type eventHeap []*Job
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, k int) bool {
+	if h[i].End != h[k].End {
+		return h[i].End < h[k].End
+	}
+	return h[i].ID < h[k].ID
+}
+func (h eventHeap) Swap(i, k int)       { h[i], h[k] = h[k], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Job)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,107 @@
+package batch
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report summarizes a drained queue: the cluster-operator view
+// (makespan, utilization) and the user view (waits) of one scheduling
+// run.
+type Report struct {
+	// Policy is the discipline that produced this schedule.
+	Policy Policy
+	// Jobs lists every finished job in completion order.
+	Jobs []*Job
+	// Makespan is the virtual time from scheduler start to the last
+	// completion.
+	Makespan time.Duration
+	// NodeBusy is each node's accumulated allocated time.
+	NodeBusy []time.Duration
+	// Utilization is total busy node-time over Makespan * nodes.
+	Utilization float64
+	// AvgWait and MaxWait aggregate queue waits (Start - Submit).
+	AvgWait, MaxWait time.Duration
+	// Backfilled counts jobs that jumped a blocked reservation.
+	Backfilled int
+	// Failed counts jobs whose workload reported an error.
+	Failed int
+}
+
+// report assembles the Report from the scheduler's terminal state.
+func (s *Scheduler) report() Report {
+	r := Report{
+		Policy:     s.cfg.Policy,
+		Jobs:       s.finished,
+		NodeBusy:   s.cfg.Cluster.BusyTimes(),
+		Backfilled: s.backfills,
+	}
+	var waitSum time.Duration
+	for _, j := range s.finished {
+		if j.End > r.Makespan {
+			r.Makespan = j.End
+		}
+		w := j.Wait()
+		waitSum += w
+		if w > r.MaxWait {
+			r.MaxWait = w
+		}
+		if j.State == Failed {
+			r.Failed++
+		}
+	}
+	if n := len(s.finished); n > 0 {
+		r.AvgWait = waitSum / time.Duration(n)
+	}
+	if r.Makespan > 0 {
+		var busy time.Duration
+		for _, b := range r.NodeBusy {
+			busy += b
+		}
+		r.Utilization = float64(busy) / (float64(r.Makespan) * float64(len(r.NodeBusy)))
+	}
+	return r
+}
+
+// NodeUtilization returns each node's busy fraction of the makespan.
+func (r Report) NodeUtilization() []float64 {
+	out := make([]float64, len(r.NodeBusy))
+	if r.Makespan <= 0 {
+		return out
+	}
+	for i, b := range r.NodeBusy {
+		out[i] = float64(b) / float64(r.Makespan)
+	}
+	return out
+}
+
+// RoundDuration rounds a virtual duration for display: second
+// granularity for long schedules, millisecond for the sub-10s runs of
+// shrunk -execute demos.
+func RoundDuration(d time.Duration) time.Duration {
+	if d < 10*time.Second {
+		return d.Round(time.Millisecond)
+	}
+	return d.Round(time.Second)
+}
+
+// String renders the operator report: the summary line followed by a
+// per-node utilization bar chart.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %-8s %d jobs, makespan %v, utilization %.1f%%, avg wait %v, max wait %v, %d backfilled, %d failed\n",
+		r.Policy, len(r.Jobs), RoundDuration(r.Makespan),
+		100*r.Utilization, RoundDuration(r.AvgWait), RoundDuration(r.MaxWait),
+		r.Backfilled, r.Failed)
+	const width = 40
+	for i, u := range r.NodeUtilization() {
+		filled := int(u*width + 0.5)
+		if filled > width {
+			filled = width
+		}
+		fmt.Fprintf(&b, "  node %2d [%s%s] %5.1f%%\n",
+			i, strings.Repeat("#", filled), strings.Repeat(".", width-filled), 100*u)
+	}
+	return b.String()
+}

@@ -1,0 +1,291 @@
+package batch
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Policy selects the queue discipline.
+type Policy int
+
+const (
+	// FIFO starts jobs strictly in queue order: when the head job does
+	// not fit, everything behind it waits (head-of-line blocking).
+	FIFO Policy = iota
+	// Backfill is EASY backfilling: when the head job does not fit, the
+	// scheduler computes its shadow start time (the earliest instant a
+	// contiguous gang frees up, trusting running jobs' estimates) and
+	// lets smaller jobs jump ahead if their own estimate finishes
+	// before the shadow — so the reservation is never delayed, unless a
+	// backfilled job overruns its estimate (exactly the real-world
+	// failure mode).
+	Backfill
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Backfill:
+		return "backfill"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy maps a CLI string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "backfill":
+		return Backfill, nil
+	}
+	return 0, fmt.Errorf("batch: unknown policy %q (want fifo or backfill)", s)
+}
+
+// Executor runs a job's workload on its allocated gang. Implementations
+// do real (wall-clock) work; the job's virtual runtime still comes from
+// the estimate path so the event loop stays deterministic.
+type Executor interface {
+	// Execute runs the job and returns a result summary for the report.
+	// An error marks the job Failed; it still holds its allocation for
+	// the full runtime.
+	Execute(j *Job, a Allocation) (detail string, err error)
+}
+
+// Config assembles a scheduler.
+type Config struct {
+	// Cluster is the machine to schedule onto. Required.
+	Cluster *Cluster
+	// Policy selects FIFO or Backfill.
+	Policy Policy
+	// Estimate supplies a runtime estimate for jobs submitted with
+	// Est == 0; nil defaults to a PerfEstimator over the paper's
+	// hardware model.
+	Estimate func(*Job) time.Duration
+	// Actual maps a job's estimate to its true runtime (e.g. a
+	// deterministic jitter so estimates are imperfect, as in real
+	// traces); nil means runtimes equal estimates.
+	Actual func(j *Job, est time.Duration) time.Duration
+	// TrunkSlowdown multiplies the runtime of gangs whose node range
+	// spans the stacking trunk (Section 4.3's contention knee seen from
+	// the scheduler's seat). Values <= 0 or == 1 disable it.
+	TrunkSlowdown float64
+	// Execute optionally runs each job's workload for real when it
+	// starts. Leave nil for pure virtual-time scheduling studies.
+	Execute Executor
+}
+
+// Scheduler drives the job lifecycle on a virtual clock: Submit stamps
+// arrivals, Run drains the queue event by event (job completions and
+// future arrivals), placing jobs per the configured policy.
+type Scheduler struct {
+	cfg       Config
+	now       time.Duration
+	pending   queue
+	running   eventHeap
+	finished  []*Job
+	nextID    int
+	backfills int
+}
+
+// New validates cfg and returns an empty scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Cluster == nil {
+		panic("batch: Config.Cluster is required")
+	}
+	if cfg.Estimate == nil {
+		est := NewPerfEstimator()
+		cfg.Estimate = est.Estimate
+	}
+	return &Scheduler{cfg: cfg, nextID: 1}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Submit validates a job spec, resolves its runtime estimate, and
+// queues it. Jobs may carry a future Submit time; a zero or past Submit
+// arrives at the current clock.
+func (s *Scheduler) Submit(j *Job) error {
+	if j.Nodes <= 0 {
+		return fmt.Errorf("batch: %s requests %d nodes", j, j.Nodes)
+	}
+	if j.Nodes > s.cfg.Cluster.Size() {
+		return fmt.Errorf("batch: %s requests %d nodes, cluster has %d",
+			j, j.Nodes, s.cfg.Cluster.Size())
+	}
+	if j.Steps <= 0 {
+		j.Steps = 1
+	}
+	if j.Problem == ([3]int{}) {
+		j.Problem = defaultProblem(j.Kind)
+	}
+	if need, have := memoryNeed(j), s.cfg.Cluster.Spec(0).MemBytes; need > have {
+		return fmt.Errorf("batch: %s needs %d MB per node, nodes have %d MB",
+			j, need>>20, have>>20)
+	}
+	j.ID = s.nextID
+	s.nextID++
+	j.est = j.Est
+	if j.est <= 0 {
+		j.est = s.cfg.Estimate(j)
+	}
+	if j.est < time.Millisecond {
+		j.est = time.Millisecond
+	}
+	if j.Submit < s.now {
+		j.Submit = s.now
+	}
+	j.State = Queued
+	s.pending.push(j)
+	return nil
+}
+
+// Run drains the queue to completion and returns the report. It may be
+// called again after further submissions; the virtual clock keeps
+// advancing monotonically.
+func (s *Scheduler) Run() Report {
+	for {
+		s.schedulePass()
+		tComplete := time.Duration(-1)
+		if s.running.Len() > 0 {
+			tComplete = s.running[0].End
+		}
+		tArrive, hasArrive := s.pending.nextArrival(s.now)
+		switch {
+		case tComplete >= 0 && (!hasArrive || tComplete <= tArrive):
+			s.now = tComplete
+			for s.running.Len() > 0 && s.running[0].End == s.now {
+				s.complete(heap.Pop(&s.running).(*Job))
+			}
+		case hasArrive:
+			s.now = tArrive
+		default:
+			return s.report()
+		}
+	}
+}
+
+// schedulePass starts every job the policy allows at the current
+// instant.
+func (s *Scheduler) schedulePass() {
+	for {
+		started := s.passOnce()
+		if !started {
+			return
+		}
+	}
+}
+
+// passOnce scans the queue once; it reports whether any job started (a
+// start changes the free map, so the caller rescans).
+func (s *Scheduler) passOnce() bool {
+	var blocked *Job // first eligible job that did not fit
+	var shadow time.Duration
+	for _, j := range s.pending.ordered() {
+		if j.Submit > s.now {
+			continue // not yet arrived
+		}
+		if blocked == nil {
+			if s.tryStart(j, false, 0) {
+				return true
+			}
+			if s.cfg.Policy == FIFO {
+				return false // head-of-line blocking
+			}
+			blocked = j
+			shadow = s.shadowStart(j.Nodes)
+			continue
+		}
+		// Backfill: only jobs whose estimate drains before the head's
+		// reservation may jump it (tryStart re-checks with the
+		// allocation-dependent trunk stretch applied).
+		if s.now+j.est <= shadow && s.tryStart(j, true, shadow) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryStart attempts a gang allocation for j at the current instant and,
+// on success, fixes its runtime and pushes its completion event. For
+// backfill starts, shadow is the blocked head's reservation: the
+// scheduler-known trunk stretch of the granted range must still drain
+// before it, else the range is handed back (only unknowable overruns —
+// the Actual hook — may breach the EASY guarantee).
+func (s *Scheduler) tryStart(j *Job, backfilled bool, shadow time.Duration) bool {
+	alloc, ok := s.cfg.Cluster.Alloc(j.Nodes)
+	if !ok {
+		return false
+	}
+	stretch := func(d time.Duration) time.Duration {
+		if alloc.CrossesTrunk && s.cfg.TrunkSlowdown > 1 {
+			return time.Duration(float64(d) * s.cfg.TrunkSlowdown)
+		}
+		return d
+	}
+	if backfilled && s.now+stretch(j.est) > shadow {
+		s.cfg.Cluster.Release(alloc, 0)
+		return false
+	}
+	s.pending.remove(j)
+	j.Alloc = alloc
+	j.State = Running
+	j.Start = s.now
+	j.backfilled = backfilled
+	if backfilled {
+		s.backfills++
+	}
+	actual := j.est
+	if s.cfg.Actual != nil {
+		actual = s.cfg.Actual(j, j.est)
+	}
+	actual = stretch(actual)
+	if actual < time.Millisecond {
+		actual = time.Millisecond
+	}
+	j.End = s.now + actual
+	if s.cfg.Execute != nil {
+		j.Detail, j.Err = s.cfg.Execute.Execute(j, alloc)
+	}
+	heap.Push(&s.running, j)
+	return true
+}
+
+// complete finishes a job whose end event fired: frees its gang,
+// credits busy accounting, and records the terminal state.
+func (s *Scheduler) complete(j *Job) {
+	s.cfg.Cluster.Release(j.Alloc, j.Runtime())
+	if j.Err != nil {
+		j.State = Failed
+	} else {
+		j.State = Done
+	}
+	s.finished = append(s.finished, j)
+}
+
+// shadowStart returns the earliest virtual time a contiguous gang of k
+// nodes can exist, assuming running jobs end on schedule and nothing
+// else starts first — the backfill reservation for a blocked head job.
+func (s *Scheduler) shadowStart(k int) time.Duration {
+	used := s.cfg.Cluster.usedCopy()
+	if contiguousFit(used, k) >= 0 {
+		return s.now
+	}
+	ends := make([]*Job, len(s.running))
+	copy(ends, s.running)
+	sort.Slice(ends, func(i, j int) bool { return ends[i].End < ends[j].End })
+	for _, r := range ends {
+		for i := r.Alloc.First; i < r.Alloc.First+r.Alloc.Count; i++ {
+			used[i] = false
+		}
+		if contiguousFit(used, k) >= 0 {
+			return r.End
+		}
+	}
+	// Unreachable for k <= cluster size: the empty machine always fits.
+	return s.now
+}

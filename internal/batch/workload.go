@@ -1,0 +1,285 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gpucluster/internal/cluster"
+	"gpucluster/internal/lbm"
+	"gpucluster/internal/mpi"
+	"gpucluster/internal/pde"
+	"gpucluster/internal/perfmodel"
+	"gpucluster/internal/sched"
+	"gpucluster/internal/sparse"
+	"gpucluster/internal/tracer"
+	"gpucluster/internal/vecmath"
+)
+
+// defaultProblem returns the per-kind default problem size: the paper's
+// 80^3 LBM sub-domain, a moderate heat grid, a 64x64 Poisson system.
+func defaultProblem(k JobKind) [3]int {
+	switch k {
+	case KindCG:
+		return [3]int{64, 64, 1}
+	case KindPDE:
+		return [3]int{64, 64, 16}
+	default:
+		return [3]int{80, 80, 80}
+	}
+}
+
+// memoryNeed returns the per-node memory footprint of a job's block,
+// checked against NodeSpec.MemBytes at submit.
+func memoryNeed(j *Job) int64 {
+	cells := int64(j.Problem[0]) * int64(j.Problem[1]) * int64(j.Problem[2])
+	switch j.Kind {
+	case KindCG:
+		// Local CSR rows (5-point stencil) plus solver vectors, split
+		// over the gang.
+		unknowns := int64(j.Problem[0]) * int64(j.Problem[1])
+		perNode := unknowns / int64(j.Nodes)
+		return perNode * (5*12 + 6*4)
+	case KindPDE:
+		// Two scalar fields with ghost shells.
+		return cells * 2 * 4
+	default:
+		// Double-buffered D3Q19 distributions plus density field.
+		return cells * (2*lbm.Q + 1) * 4
+	}
+}
+
+// PerfEstimator derives virtual runtimes from the calibrated hardware
+// model of package perfmodel: LBM jobs use the full Table 1 composition
+// (GPU compute, AGP border traffic, non-overlapped network time), the
+// other kinds scale its components by their arithmetic intensity.
+type PerfEstimator struct {
+	H perfmodel.Hardware
+}
+
+// NewPerfEstimator returns an estimator over the paper's hardware.
+func NewPerfEstimator() *PerfEstimator {
+	return &PerfEstimator{H: perfmodel.Paper()}
+}
+
+// Estimate returns the modeled runtime of j on its gang's Arrange3D
+// grid.
+func (e *PerfEstimator) Estimate(j *Job) time.Duration {
+	g := sched.Arrange3D(j.Nodes)
+	switch j.Kind {
+	case KindCG:
+		unknowns := float64(j.Problem[0] * j.Problem[1])
+		local := unknowns / float64(j.Nodes)
+		// A 5-point matvec plus the vector updates per unknown is about
+		// a sixth of one D3Q19 cell update on the GPU matvec path.
+		compute := time.Duration(local / 6 / e.H.GPUCellsPerSec * float64(time.Second))
+		var comm time.Duration
+		if j.Nodes > 1 {
+			// Two allreduce rounds plus the proxy refresh per iteration.
+			msgs := 2*math.Ceil(math.Log2(float64(j.Nodes))) + 2
+			comm = time.Duration(msgs) * e.H.Net.MsgLatency
+		}
+		return time.Duration(j.Steps) * (compute + comm)
+	case KindPDE:
+		br := e.H.ClusterStep(g, j.Problem, perfmodel.Options{})
+		// One scalar per cell against 19 distributions: ~1/5 the
+		// compute and border traffic of the LBM step.
+		per := br.GPUCompute/5 + br.GPUCPUComm/5 + br.NetNonOverlap
+		return time.Duration(j.Steps) * per
+	default:
+		br := e.H.ClusterStep(g, j.Problem, perfmodel.Options{})
+		return time.Duration(j.Steps) * br.GPUTotal
+	}
+}
+
+// SimExecutor runs each job's workload for real on the functional
+// simulators, mapping the gang's Arrange3D grid onto the workload's
+// domain decomposition. Use small problems: this does the actual
+// compute.
+type SimExecutor struct {
+	// TracerParticles releases a pollutant cloud through each LBM job's
+	// developed flow (the Section 5 dispersion post-pass); 0 disables.
+	TracerParticles int
+}
+
+// Execute implements Executor.
+func (x SimExecutor) Execute(j *Job, a Allocation) (string, error) {
+	switch j.Kind {
+	case KindLBM:
+		return x.runLBM(j, a)
+	case KindCG:
+		return runCG(j, a)
+	case KindPDE:
+		return runPDE(j, a)
+	}
+	return "", fmt.Errorf("batch: no workload adapter for %v", j.Kind)
+}
+
+// runLBM executes a wind-tunnel flow over the gang: inlet on x-, open
+// outflow on x+, periodic transverse faces, then (optionally) traces a
+// pollutant cloud through the developed flow.
+func (x SimExecutor) runLBM(j *Job, a Allocation) (string, error) {
+	g := a.Grid
+	global := [3]int{j.Problem[0] * g.PX, j.Problem[1] * g.PY, j.Problem[2] * g.PZ}
+	cfg := cluster.Config{Global: global, Grid: g, Tau: 0.7}
+	cfg.Faces[lbm.FaceXNeg] = lbm.FaceSpec{Type: lbm.Inlet, U: vecmath.Vec3{0.04, 0, 0}}
+	cfg.Faces[lbm.FaceXPos] = lbm.FaceSpec{Type: lbm.Outflow}
+	sim, err := cluster.New(cfg)
+	if err != nil {
+		return "", err
+	}
+	sim.Run(j.Steps)
+	mass := sim.TotalMass()
+	if math.IsNaN(mass) || mass <= 0 {
+		return "", fmt.Errorf("batch: LBM diverged, total mass %v", mass)
+	}
+	detail := fmt.Sprintf("lbm %dx%dx%d on %v: %d steps, mass %.1f",
+		global[0], global[1], global[2], g, j.Steps, mass)
+	if x.TracerParticles > 0 {
+		field := tracer.FromMacro(global[0], global[1], global[2],
+			sim.GatherDensity(), sim.GatherVelocity(), nil)
+		cloud := tracer.NewCloud(int64(j.ID))
+		cloud.Release(1, global[1]/2, global[2]/2, x.TracerParticles)
+		for i := 0; i < j.Steps; i++ {
+			cloud.Step(field)
+		}
+		c := cloud.Centroid()
+		detail += fmt.Sprintf("; tracer centroid (%.1f, %.1f, %.1f)", c[0], c[1], c[2])
+	}
+	return detail, nil
+}
+
+// runCG solves a manufactured Poisson system with the Figure 15
+// distributed CG, one rank per allocated node.
+func runCG(j *Job, a Allocation) (string, error) {
+	n := j.Problem[0]
+	A := sparse.Poisson2D(n)
+	ranks := a.Count
+	if A.Rows < ranks {
+		return "", fmt.Errorf("batch: %d unknowns cannot split over %d ranks", A.Rows, ranks)
+	}
+	want := make([]float32, A.Rows)
+	for i := range want {
+		want[i] = float32(i%7) * 0.25
+	}
+	rhs := A.MulVec(want)
+	off, sz := sparse.RowPartition(A.Rows, ranks)
+	got := make([]float32, A.Rows)
+	stats := make([]sparse.SolveStats, ranks)
+	world := mpi.NewWorld(ranks)
+	world.Run(func(c *mpi.Comm) {
+		r := c.Rank()
+		d := sparse.NewDistMatrix(A, r, ranks)
+		d.Setup(c)
+		local, st := sparse.DistCG(c, d, rhs[off[r]:off[r]+sz[r]], 1e-6, j.Steps)
+		stats[r] = st
+		copy(got[off[r]:], local)
+	})
+	if !stats[0].Converged {
+		return "", fmt.Errorf("batch: CG stopped at %d iterations, residual %.2e",
+			stats[0].Iterations, stats[0].Residual)
+	}
+	var maxErr float64
+	for i := range got {
+		if d := math.Abs(float64(got[i] - want[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	return fmt.Sprintf("cg %d unknowns on %d ranks: %d iters, residual %.1e, max err %.2e",
+		A.Rows, ranks, stats[0].Iterations, stats[0].Residual, maxErr), nil
+}
+
+// runPDE diffuses a hot block with the slab-parallel heat solver, one
+// z-slab of Problem[2] planes per allocated node, and checks that the
+// periodic domain conserves total heat.
+func runPDE(j *Job, a Allocation) (string, error) {
+	nx, ny := j.Problem[0], j.Problem[1]
+	nz := j.Problem[2] * a.Count
+	hot := func(x, y, z int) float32 {
+		if x >= nx/4 && x < 3*nx/4 && y >= ny/4 && y < 3*ny/4 && z >= nz/4 && z < 3*nz/4 {
+			return 1
+		}
+		return 0
+	}
+	var want float64
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				want += float64(hot(x, y, z))
+			}
+		}
+	}
+	field := pde.ParallelHeat3D(nx, ny, nz, 1.0/6.0, a.Count, j.Steps, hot)
+	var got float64
+	for _, v := range field {
+		got += float64(v)
+	}
+	if want > 0 && math.Abs(got-want)/want > 1e-3 {
+		return "", fmt.Errorf("batch: heat not conserved: %.4f -> %.4f", want, got)
+	}
+	return fmt.Sprintf("pde heat %dx%dx%d on %d slabs: %d steps, heat drift %.1e",
+		nx, ny, nz, a.Count, j.Steps, math.Abs(got-want)), nil
+}
+
+// SyntheticMix generates a deterministic skewed batch of count jobs for
+// a maxNodes-node cluster: mostly narrow short jobs with occasional
+// wide long ones — the workload shape that separates backfill from
+// FIFO. Problem sizes follow the paper's sub-domain scales; nothing is
+// executed unless the scheduler carries an Executor.
+func SyntheticMix(seed int64, count, maxNodes int) []*Job {
+	rng := rand.New(rand.NewSource(seed))
+	clamp := func(v int) int {
+		if v < 1 {
+			return 1
+		}
+		if v > maxNodes {
+			return maxNodes
+		}
+		return v
+	}
+	// intn tolerates the degenerate bounds of tiny clusters.
+	intn := func(n int) int {
+		if n <= 0 {
+			return 0
+		}
+		return rng.Intn(n)
+	}
+	jobs := make([]*Job, 0, count)
+	for i := 0; i < count; i++ {
+		kind := JobKind(rng.Intn(int(numKinds)))
+		var nodes int
+		switch p := rng.Float64(); {
+		case p < 0.60:
+			nodes = clamp(1 + intn(2))
+		case p < 0.85:
+			nodes = clamp(2 + intn(maxNodes/4+1))
+		case p < 0.95:
+			nodes = clamp(maxNodes/4 + 1 + intn(maxNodes/4+1))
+		default:
+			nodes = clamp(maxNodes/2 + 1 + intn(maxNodes/2))
+		}
+		j := &Job{
+			Name:     fmt.Sprintf("%s-%04d", kind, i),
+			Kind:     kind,
+			Nodes:    nodes,
+			Priority: rng.Intn(5),
+		}
+		switch kind {
+		case KindCG:
+			n := 32 + 8*rng.Intn(5)
+			j.Problem = [3]int{n, n, 1}
+			j.Steps = 100 + rng.Intn(300)
+		case KindPDE:
+			s := 32 + 8*rng.Intn(5)
+			j.Problem = [3]int{s, s, 8 + 4*rng.Intn(3)}
+			j.Steps = 50 + rng.Intn(450)
+		default:
+			s := 40 + 8*rng.Intn(6)
+			j.Problem = [3]int{s, s, s}
+			j.Steps = 20 + rng.Intn(180)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}

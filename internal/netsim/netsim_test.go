@@ -190,3 +190,72 @@ func TestMaxTime(t *testing.T) {
 		t.Errorf("max = %v", MaxTime(ts))
 	}
 }
+
+// TestTransferTrunkCrossingTiming pins down the Transfer-level trunk
+// arithmetic: a flow with exactly one endpoint behind the stacking
+// trunk serializes at trunk rate, while flows local to either switch
+// run at full link rate.
+func TestTransferTrunkCrossingTiming(t *testing.T) {
+	cfg := Config{
+		Ports:            8,
+		LinkBandwidth:    100e6,
+		Efficiency:       1,
+		MsgLatency:       time.Millisecond,
+		NonBlockingPorts: 4,
+		TrunkBandwidth:   10e6,
+	}
+	const bytes = 1_000_000
+	wantLocal := time.Millisecond + 10*time.Millisecond  // 1 MB at 100 MB/s
+	wantTrunk := time.Millisecond + 100*time.Millisecond // 1 MB at 10 MB/s
+
+	n := New(cfg)
+	if _, end := n.Transfer(0, 1, bytes, 0); end != wantLocal {
+		t.Errorf("primary-switch transfer took %v, want %v", end, wantLocal)
+	}
+	if n.Stats.TrunkFlows != 0 {
+		t.Errorf("local transfer counted %d trunk flows", n.Stats.TrunkFlows)
+	}
+
+	n = New(cfg)
+	if _, end := n.Transfer(0, 5, bytes, 0); end != wantTrunk {
+		t.Errorf("trunk-crossing transfer took %v, want %v", end, wantTrunk)
+	}
+	if n.Stats.TrunkFlows != 1 {
+		t.Errorf("crossing transfer counted %d trunk flows, want 1", n.Stats.TrunkFlows)
+	}
+
+	// Two ports behind the trunk talk locally on the stacked switch.
+	n = New(cfg)
+	if _, end := n.Transfer(5, 6, bytes, 0); end != wantLocal {
+		t.Errorf("stacked-switch local transfer took %v, want %v", end, wantLocal)
+	}
+}
+
+// TestTransferTrunkCrossingBusyPort checks that a crossing transfer
+// arriving at a busy trunk-side port queues behind it and pays the
+// interruption penalty on top of the trunk serialization time.
+func TestTransferTrunkCrossingBusyPort(t *testing.T) {
+	cfg := Config{
+		Ports:            8,
+		LinkBandwidth:    100e6,
+		Efficiency:       1,
+		MsgLatency:       time.Millisecond,
+		InterruptPenalty: 5 * time.Millisecond,
+		NonBlockingPorts: 4,
+		TrunkBandwidth:   10e6,
+	}
+	n := New(cfg)
+	const bytes = 1_000_000
+	_, firstEnd := n.Transfer(0, 5, bytes, 0)
+	start, end := n.Transfer(1, 5, bytes, 0)
+	if start != firstEnd {
+		t.Errorf("second transfer started %v, want queued until %v", start, firstEnd)
+	}
+	wantDur := time.Millisecond + 100*time.Millisecond + 5*time.Millisecond
+	if got := end - start; got != wantDur {
+		t.Errorf("interrupted crossing transfer took %v, want %v", got, wantDur)
+	}
+	if n.Stats.Interruptions != 1 {
+		t.Errorf("interruptions = %d, want 1", n.Stats.Interruptions)
+	}
+}

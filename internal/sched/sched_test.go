@@ -220,3 +220,74 @@ func TestScheduleProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestArrangeSingleNode(t *testing.T) {
+	if got := Arrange2D(1); got != (NodeGrid{1, 1, 1}) {
+		t.Errorf("Arrange2D(1) = %v", got)
+	}
+	if got := Arrange3D(1); got != (NodeGrid{1, 1, 1}) {
+		t.Errorf("Arrange3D(1) = %v", got)
+	}
+}
+
+func TestArrangePrimesDegenerateToChains(t *testing.T) {
+	for _, p := range []int{2, 3, 7, 13, 31} {
+		want := NodeGrid{PX: p, PY: 1, PZ: 1}
+		if got := Arrange2D(p); got != want {
+			t.Errorf("Arrange2D(%d) = %v, want %v", p, got, want)
+		}
+		if got := Arrange3D(p); got != want {
+			t.Errorf("Arrange3D(%d) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestArrangeNonPowerOfTwo(t *testing.T) {
+	cases := []struct {
+		n      int
+		want2D NodeGrid
+		want3D NodeGrid
+	}{
+		{12, NodeGrid{4, 3, 1}, NodeGrid{3, 2, 2}},
+		{18, NodeGrid{6, 3, 1}, NodeGrid{3, 3, 2}},
+		{20, NodeGrid{5, 4, 1}, NodeGrid{5, 2, 2}},
+		{24, NodeGrid{6, 4, 1}, NodeGrid{4, 3, 2}},
+		{36, NodeGrid{6, 6, 1}, NodeGrid{4, 3, 3}},
+	}
+	for _, c := range cases {
+		if got := Arrange2D(c.n); got != c.want2D {
+			t.Errorf("Arrange2D(%d) = %v, want %v", c.n, got, c.want2D)
+		}
+		if got := Arrange3D(c.n); got != c.want3D {
+			t.Errorf("Arrange3D(%d) = %v, want %v", c.n, got, c.want3D)
+		}
+	}
+}
+
+func TestArrangeInvariants(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		g2 := Arrange2D(n)
+		if g2.Size() != n || g2.PZ != 1 || g2.PX < g2.PY {
+			t.Errorf("Arrange2D(%d) = %v violates invariants", n, g2)
+		}
+		g3 := Arrange3D(n)
+		if g3.Size() != n || g3.PX < g3.PY || g3.PY < g3.PZ {
+			t.Errorf("Arrange3D(%d) = %v violates invariants", n, g3)
+		}
+	}
+}
+
+func TestArrangeRejectsNonPositive(t *testing.T) {
+	for _, fn := range []func(int) NodeGrid{Arrange2D, Arrange3D} {
+		for _, n := range []int{0, -1} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("Arrange(%d) did not panic", n)
+					}
+				}()
+				fn(n)
+			}()
+		}
+	}
+}
