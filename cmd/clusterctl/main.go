@@ -2,12 +2,15 @@
 // submits a mixed batch of LBM, distributed-CG, and heat-stencil jobs
 // to the internal/batch scheduler, drains the queue on the virtual
 // clock, and prints the operator report — makespan, per-node
-// utilization bars, queue waits — under the FIFO and backfill policies.
+// utilization bars, queue waits, placement stats — under the FIFO and
+// backfill policies and the first-fit and topology-aware placement
+// engines.
 //
 // Usage:
 //
 //	clusterctl -nodes 32 -jobs 200 -policy both -seed 42
-//	clusterctl -execute -jobs 8        # actually run the workloads
+//	clusterctl -placement both          # compare placement engines too
+//	clusterctl -execute -jobs 8         # actually run the workloads
 package main
 
 import (
@@ -15,74 +18,133 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"gpucluster/internal/batch"
 	"gpucluster/internal/netsim"
 )
 
+type result struct {
+	placement batch.Placement
+	policy    batch.Policy
+	rep       batch.Report
+}
+
 func main() {
 	nodes := flag.Int("nodes", 32, "cluster size (the paper's machine had 32 compute nodes)")
 	jobs := flag.Int("jobs", 200, "number of jobs in the synthetic mixed batch")
 	policy := flag.String("policy", "both", "queue policy: fifo, backfill, or both (compare)")
+	placement := flag.String("placement", "topo", "gang placement: first-fit, topo, or both (compare)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	trunk := flag.Float64("trunk-slowdown", 1.1, "runtime multiplier for gangs spanning the stacking trunk")
 	execute := flag.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
 	verbose := flag.Bool("v", false, "print the per-job table")
 	flag.Parse()
 
-	var policies []batch.Policy
-	if *policy == "both" {
-		policies = []batch.Policy{batch.FIFO, batch.Backfill}
-	} else {
+	if *nodes <= 0 {
+		log.Fatalf("clusterctl: -nodes %d: cluster size must be positive", *nodes)
+	}
+	if *jobs < 0 {
+		log.Fatalf("clusterctl: -jobs %d: job count must be non-negative", *jobs)
+	}
+
+	policies := []batch.Policy{batch.FIFO, batch.Backfill}
+	if *policy != "both" {
 		p, err := batch.ParsePolicy(*policy)
 		if err != nil {
 			log.Fatal(err)
 		}
 		policies = []batch.Policy{p}
 	}
+	placements := []batch.Placement{batch.PlaceFirstFit, batch.PlaceTopo}
+	if *placement != "both" {
+		p, err := batch.ParsePlacement(*placement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		placements = []batch.Placement{p}
+	}
 
 	fmt.Printf("clusterctl: %d jobs on %d nodes (seed %d)\n\n", *jobs, *nodes, *seed)
-	reports := make([]batch.Report, 0, len(policies))
-	for _, pol := range policies {
-		cfg := batch.Config{
-			Cluster:       batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
-			Policy:        pol,
-			TrunkSlowdown: *trunk,
-		}
-		if *execute {
-			cfg.Execute = batch.SimExecutor{TracerParticles: 1000}
-		}
-		s := batch.New(cfg)
-		// Each policy gets its own identically seeded batch: the
-		// scheduler mutates job lifecycle state.
-		mix := batch.SyntheticMix(*seed, *jobs, *nodes)
-		if *execute {
-			shrink(mix, *nodes)
-		}
-		for _, j := range mix {
-			if err := s.Submit(j); err != nil {
-				log.Fatal(err)
+	// One mix serves every scheduler run: Submit resolves defaults into
+	// scheduler-owned fields, so the specs stay pristine across replays.
+	mix := batch.SyntheticMix(*seed, *jobs, *nodes)
+	if *execute {
+		shrink(mix, *nodes)
+	}
+	var results []result
+	for _, plc := range placements {
+		for _, pol := range policies {
+			cfg := batch.Config{
+				Cluster:       batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
+				Policy:        pol,
+				Placement:     plc,
+				TrunkSlowdown: *trunk,
 			}
+			if *execute {
+				cfg.Execute = batch.SimExecutor{TracerParticles: 1000}
+			}
+			s := batch.New(cfg)
+			for _, j := range mix {
+				if err := s.Submit(j); err != nil {
+					log.Fatal(err)
+				}
+			}
+			rep := s.Run()
+			fmt.Print(rep)
+			if *verbose {
+				printJobs(rep)
+			}
+			fmt.Println()
+			results = append(results, result{placement: plc, policy: pol, rep: rep})
 		}
-		rep := s.Run()
-		fmt.Print(rep)
-		if *verbose {
-			printJobs(rep)
-		}
-		fmt.Println()
-		reports = append(reports, rep)
 	}
 
-	if len(reports) == 2 {
-		f, b := reports[0], reports[1]
-		gain := 100 * (1 - float64(b.Makespan)/float64(f.Makespan))
-		fmt.Printf("backfill vs fifo: makespan %v -> %v (%.1f%% lower), utilization %.1f%% -> %.1f%%, %d jobs backfilled\n",
-			batch.RoundDuration(f.Makespan), batch.RoundDuration(b.Makespan), gain,
-			100*f.Utilization, 100*b.Utilization, b.Backfilled)
+	if len(policies) == 2 {
+		for _, plc := range placements {
+			f := find(results, plc, batch.FIFO)
+			b := find(results, plc, batch.Backfill)
+			fmt.Printf("placement %s, backfill vs fifo: makespan %v -> %v (%s), utilization %.1f%% -> %.1f%%, %d jobs backfilled\n",
+				plc, batch.RoundDuration(f.Makespan), batch.RoundDuration(b.Makespan),
+				gain(f.Makespan, b.Makespan),
+				100*f.Utilization, 100*b.Utilization, b.Backfilled)
+		}
 	}
-	if failed(reports) {
-		os.Exit(1)
+	if len(placements) == 2 {
+		for _, pol := range policies {
+			ff := find(results, batch.PlaceFirstFit, pol)
+			tp := find(results, batch.PlaceTopo, pol)
+			fmt.Printf("policy %s, topo vs first-fit: makespan %v -> %v (%s), utilization %.1f%% -> %.1f%%, trunk-crossing gangs %d -> %d, split gangs %d\n",
+				pol, batch.RoundDuration(ff.Makespan), batch.RoundDuration(tp.Makespan),
+				gain(ff.Makespan, tp.Makespan),
+				100*ff.Utilization, 100*tp.Utilization,
+				ff.TrunkCrossed, tp.TrunkCrossed, tp.SplitGangs)
+		}
 	}
+	for _, r := range results {
+		if r.rep.Failed > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// find returns the report for one (placement, policy) run.
+func find(results []result, plc batch.Placement, pol batch.Policy) batch.Report {
+	for _, r := range results {
+		if r.placement == plc && r.policy == pol {
+			return r.rep
+		}
+	}
+	panic("clusterctl: missing run")
+}
+
+// gain renders the relative makespan improvement from base to improved,
+// or "n/a" when the base is empty (e.g. -jobs 0).
+func gain(base, improved time.Duration) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%% lower", 100*(1-float64(improved)/float64(base)))
 }
 
 // shrink scales a synthetic batch down to sizes the functional
@@ -119,18 +181,12 @@ func printJobs(rep batch.Report) {
 		if j.Backfilled() {
 			mark = " *bf"
 		}
+		if !j.Alloc.Contiguous() {
+			mark += " *split"
+		}
 		fmt.Printf("  %-4d %-10s %-5s %-6d %-5d %-9v %-9v %-9s %s%s\n",
 			j.ID, j.Name, j.Kind, j.Nodes, j.Priority,
 			batch.RoundDuration(j.Wait()), batch.RoundDuration(j.Runtime()),
 			j.State, j.Detail, mark)
 	}
-}
-
-func failed(reports []batch.Report) bool {
-	for _, r := range reports {
-		if r.Failed > 0 {
-			return true
-		}
-	}
-	return false
 }

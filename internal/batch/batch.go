@@ -101,10 +101,10 @@ type Job struct {
 	Priority int
 	// Problem is the per-node sub-domain extents for KindLBM/KindPDE,
 	// or {n, n, 1} selecting an n x n Poisson grid for KindCG. Zero
-	// selects a per-kind default.
+	// selects a per-kind default (see ResolvedProblem).
 	Problem [3]int
 	// Steps counts simulation steps (LBM/PDE) or solver iterations
-	// (CG); zero means 1.
+	// (CG); zero means 1 (see ResolvedSteps).
 	Steps int
 	// Est is the caller's runtime estimate (Slurm's walltime); zero
 	// asks the scheduler's Estimator. Backfill reservations trust this
@@ -112,7 +112,8 @@ type Job struct {
 	Est time.Duration
 	// Submit is the virtual arrival time. Jobs may be submitted with a
 	// future arrival; the scheduler holds them until the clock reaches
-	// it. Zero means "now".
+	// it. Zero means "now". Like the other spec fields it is never
+	// mutated by the scheduler: the resolved arrival is Arrival().
 	Submit time.Duration
 
 	// State, Start and End are scheduler-owned lifecycle fields.
@@ -126,7 +127,15 @@ type Job struct {
 	// Err records the workload failure for Failed jobs.
 	Err error
 
-	est        time.Duration // resolved estimate, fixed at submit
+	// Fields below are resolved by Submit from the spec — the spec
+	// itself stays caller-owned and pristine, so the same specs can be
+	// replayed against another scheduler.
+	est        time.Duration // resolved estimate
+	steps      int           // resolved Steps (>= 1)
+	problem    [3]int        // resolved Problem (per-kind default applied)
+	arrive     time.Duration // resolved arrival (Submit clamped to the clock)
+	memNeed    int64         // per-node memory footprint
+	shadow     time.Duration // head reservation at backfill time (invariant checks)
 	backfilled bool
 }
 
@@ -134,8 +143,20 @@ type Job struct {
 // submit time (Est, or the Estimator's answer).
 func (j *Job) Estimate() time.Duration { return j.est }
 
-// Wait returns the queue wait time (Start - Submit) for started jobs.
-func (j *Job) Wait() time.Duration { return j.Start - j.Submit }
+// ResolvedSteps returns the step count the scheduler resolved at submit
+// (Steps, or the per-kind default of 1).
+func (j *Job) ResolvedSteps() int { return j.steps }
+
+// ResolvedProblem returns the problem extents the scheduler resolved at
+// submit (Problem, or the per-kind default).
+func (j *Job) ResolvedProblem() [3]int { return j.problem }
+
+// Arrival returns the resolved arrival time: Submit, clamped up to the
+// virtual clock at submission.
+func (j *Job) Arrival() time.Duration { return j.arrive }
+
+// Wait returns the queue wait time (Start - Arrival) for started jobs.
+func (j *Job) Wait() time.Duration { return j.Start - j.arrive }
 
 // Runtime returns End - Start for completed jobs.
 func (j *Job) Runtime() time.Duration { return j.End - j.Start }

@@ -21,7 +21,7 @@ func checkNoOverlap(t *testing.T, jobs []*Job, nodes int) {
 	type span struct{ start, end time.Duration }
 	perNode := make([][]span, nodes)
 	for _, j := range jobs {
-		for i := j.Alloc.First; i < j.Alloc.First+j.Alloc.Count; i++ {
+		for _, i := range j.Alloc.Nodes() {
 			perNode[i] = append(perNode[i], span{j.Start, j.End})
 		}
 	}
@@ -204,7 +204,7 @@ func TestContiguousAllocationAndTrunk(t *testing.T) {
 			c.Spec(0).Group, c.Spec(31).Group)
 	}
 	a, ok := c.Alloc(20)
-	if !ok || a.First != 0 || a.Count != 20 {
+	if !ok || !a.Contiguous() || a.Ranges[0] != (NodeRange{First: 0, Count: 20}) || a.Count != 20 {
 		t.Fatalf("first allocation %+v, ok=%v", a, ok)
 	}
 	if a.Grid != sched.Arrange3D(20) || a.Grid.Size() != 20 {
@@ -214,7 +214,7 @@ func TestContiguousAllocationAndTrunk(t *testing.T) {
 		t.Error("nodes [0,20) flagged as crossing the 24-port trunk")
 	}
 	b, ok := c.Alloc(10)
-	if !ok || b.First != 20 {
+	if !ok || b.Ranges[0].First != 20 {
 		t.Fatalf("second allocation %+v, ok=%v", b, ok)
 	}
 	if !b.CrossesTrunk {
@@ -224,7 +224,7 @@ func TestContiguousAllocationAndTrunk(t *testing.T) {
 		t.Error("allocated 4 contiguous nodes with only 2 free")
 	}
 	c.Release(a, time.Second)
-	if got, ok := c.Alloc(4); !ok || got.First != 0 {
+	if got, ok := c.Alloc(4); !ok || got.Ranges[0].First != 0 {
 		t.Fatalf("after release, allocation %+v, ok=%v", got, ok)
 	}
 }

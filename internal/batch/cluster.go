@@ -2,6 +2,7 @@ package batch
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"gpucluster/internal/netsim"
@@ -22,42 +23,81 @@ type NodeSpec struct {
 	Group int
 }
 
-// Allocation is a gang of contiguous nodes granted to one job.
-// Contiguity keeps a job's ranks on neighboring switch ports, the
-// placement the paper's pairwise schedule assumes.
-type Allocation struct {
-	// First is the lowest node index; the gang is [First, First+Count).
+// NodeRange is one contiguous run of node indices, [First, First+Count).
+type NodeRange struct {
 	First, Count int
+}
+
+// Allocation is a gang of nodes granted to one job: one contiguous
+// range in the common case — contiguity keeps a job's ranks on
+// neighboring switch ports, the placement the paper's pairwise schedule
+// assumes — or several disjoint ranges when the topology-aware engine
+// assembles a gang from free fragments.
+type Allocation struct {
+	// Ranges are the granted node runs, disjoint and ascending. Rank r
+	// runs on the r-th node of the concatenation (see Port).
+	Ranges []NodeRange
+	// Count is the total node count across Ranges.
+	Count int
 	// Grid maps the gang onto the most cubic 3D arrangement for the
 	// workload's domain decomposition (sched.Arrange3D).
 	Grid sched.NodeGrid
-	// CrossesTrunk reports whether the range spans both interconnect
+	// CrossesTrunk reports whether the node set spans both interconnect
 	// groups, so the job's border exchanges pay the stacking-trunk
 	// bandwidth of Section 4.3.
 	CrossesTrunk bool
 }
 
+// Contiguous reports whether the gang occupies a single node range.
+func (a Allocation) Contiguous() bool { return len(a.Ranges) == 1 }
+
 // Nodes returns the allocated node indices in rank order.
 func (a Allocation) Nodes() []int {
-	out := make([]int, a.Count)
-	for i := range out {
-		out[i] = a.First + i
+	out := make([]int, 0, a.Count)
+	for _, r := range a.Ranges {
+		for i := 0; i < r.Count; i++ {
+			out = append(out, r.First+i)
+		}
 	}
 	return out
 }
 
-func (a Allocation) String() string {
-	return fmt.Sprintf("nodes [%d,%d) as %v", a.First, a.First+a.Count, a.Grid)
+// Port returns the switch port (node index) rank r is placed on: ranks
+// walk the ranges in ascending node order, so for a contiguous gang
+// port = First + r.
+func (a Allocation) Port(r int) int {
+	for _, nr := range a.Ranges {
+		if r < nr.Count {
+			return nr.First + r
+		}
+		r -= nr.Count
+	}
+	panic(fmt.Sprintf("batch: rank %d outside %d-node allocation", r, a.Count))
 }
 
-// Cluster is the resource manager's machine state: homogeneous nodes on
-// the simulated switch, a free/used bitmap for gang allocation, and
+func (a Allocation) String() string {
+	var b strings.Builder
+	for i, r := range a.Ranges {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "[%d,%d)", r.First, r.First+r.Count)
+	}
+	return fmt.Sprintf("nodes %s as %v", b.String(), a.Grid)
+}
+
+// Cluster is the resource manager's machine state: nodes on the
+// simulated switch, a free/used bitmap for gang allocation, and
 // per-node busy accounting for the utilization report.
 type Cluster struct {
 	nodes []NodeSpec
 	net   netsim.Config
 	used  []bool
 	busy  []time.Duration
+	free  int // count of false entries in used
+	// fragSamples/fragSum sample the free-fragment count at each
+	// allocation instant, the report's fragmentation statistic.
+	fragSamples, fragSum int
 }
 
 // NewCluster builds an n-node cluster attached to the given switch
@@ -71,6 +111,7 @@ func NewCluster(n int, net netsim.Config) *Cluster {
 		net:   net,
 		used:  make([]bool, n),
 		busy:  make([]time.Duration, n),
+		free:  n,
 	}
 	for i := range c.nodes {
 		group := 0
@@ -88,72 +129,101 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 // Spec returns node i's description.
 func (c *Cluster) Spec(i int) NodeSpec { return c.nodes[i] }
 
+// SetSpec overrides node i's description, e.g. to model a heterogeneous
+// machine where some nodes carry less memory. The admission check and
+// the placement engine consult per-node specs, not a cluster-wide one.
+func (c *Cluster) SetSpec(i int, s NodeSpec) { c.nodes[i] = s }
+
 // Net returns the interconnect configuration.
 func (c *Cluster) Net() netsim.Config { return c.net }
 
 // FreeNodes returns how many nodes are currently unallocated.
-func (c *Cluster) FreeNodes() int {
+func (c *Cluster) FreeNodes() int { return c.free }
+
+// NodesWithMem counts nodes (busy or not) offering at least need bytes,
+// the admission-feasibility bound checked at submit.
+func (c *Cluster) NodesWithMem(need int64) int {
 	n := 0
-	for _, u := range c.used {
-		if !u {
+	for _, s := range c.nodes {
+		if s.MemBytes >= need {
 			n++
 		}
 	}
 	return n
 }
 
-// contiguousFit returns the start of the first free run of k nodes in
-// the bitmap, or -1. Shared by live allocation and the backfill
-// shadow-time simulation.
-func contiguousFit(used []bool, k int) int {
-	run := 0
-	for i, u := range used {
-		if u {
-			run = 0
-			continue
-		}
-		run++
-		if run == k {
-			return i - k + 1
-		}
+// rangesCrossTrunk reports whether a node set (disjoint ascending
+// ranges) spans both sides of the stacking trunk.
+func (c *Cluster) rangesCrossTrunk(rs []NodeRange) bool {
+	nb := c.net.NonBlockingPorts
+	if nb <= 0 || nb >= len(c.nodes) || len(rs) == 0 {
+		return false
 	}
-	return -1
+	last := rs[len(rs)-1]
+	return rs[0].First < nb && last.First+last.Count > nb
 }
 
 // Alloc gang-allocates the first contiguous free range of k nodes,
-// mapped through sched.Arrange3D. It reports false when no such range
-// exists.
+// mapped through sched.Arrange3D — the legacy first-fit path. It
+// reports false when no such range exists. The scheduler goes through
+// the placement engine (candidates/commit) instead.
 func (c *Cluster) Alloc(k int) (Allocation, bool) {
-	if k <= 0 || k > len(c.nodes) {
+	cands := c.candidates(k, 0, PlaceFirstFit)
+	if len(cands) == 0 {
 		return Allocation{}, false
 	}
-	first := contiguousFit(c.used, k)
-	if first < 0 {
-		return Allocation{}, false
+	return c.commit(cands[0]), true
+}
+
+// commit marks a candidate's nodes used and builds its Allocation.
+func (c *Cluster) commit(cand candidate) Allocation {
+	total := 0
+	for _, r := range cand.ranges {
+		for i := r.First; i < r.First+r.Count; i++ {
+			if c.used[i] {
+				panic(fmt.Sprintf("batch: double allocation of node %d", i))
+			}
+			c.used[i] = true
+		}
+		total += r.Count
 	}
-	for i := first; i < first+k; i++ {
-		c.used[i] = true
+	c.free -= total
+	c.fragSamples++
+	c.fragSum += c.freeFragCount()
+	return Allocation{
+		Ranges:       append([]NodeRange(nil), cand.ranges...),
+		Count:        total,
+		Grid:         sched.Arrange3D(total),
+		CrossesTrunk: cand.crosses,
 	}
-	a := Allocation{
-		First: first,
-		Count: k,
-		Grid:  sched.Arrange3D(k),
-	}
-	nb := c.net.NonBlockingPorts
-	a.CrossesTrunk = nb > 0 && nb < len(c.nodes) && first < nb && first+k > nb
-	return a, true
 }
 
 // Release frees an allocation and credits each node's busy accounting
 // with the job's runtime.
 func (c *Cluster) Release(a Allocation, ran time.Duration) {
-	for i := a.First; i < a.First+a.Count; i++ {
-		if !c.used[i] {
-			panic(fmt.Sprintf("batch: double release of node %d", i))
+	for _, r := range a.Ranges {
+		for i := r.First; i < r.First+r.Count; i++ {
+			if !c.used[i] {
+				panic(fmt.Sprintf("batch: double release of node %d", i))
+			}
+			c.used[i] = false
+			c.busy[i] += ran
 		}
-		c.used[i] = false
-		c.busy[i] += ran
+		c.free += r.Count
 	}
+}
+
+// freeFragCount counts the maximal free runs in the bitmap.
+func (c *Cluster) freeFragCount() int {
+	frags := 0
+	inRun := false
+	for _, u := range c.used {
+		if !u && !inRun {
+			frags++
+		}
+		inRun = !u
+	}
+	return frags
 }
 
 // BusyTimes returns a copy of per-node accumulated busy time.
@@ -161,6 +231,16 @@ func (c *Cluster) BusyTimes() []time.Duration {
 	out := make([]time.Duration, len(c.busy))
 	copy(out, c.busy)
 	return out
+}
+
+// AvgFreeFrags returns the mean number of free fragments observed at
+// allocation instants — how shattered the machine was when gangs were
+// placed. Zero before any allocation.
+func (c *Cluster) AvgFreeFrags() float64 {
+	if c.fragSamples == 0 {
+		return 0
+	}
+	return float64(c.fragSum) / float64(c.fragSamples)
 }
 
 // usedCopy snapshots the allocation bitmap for shadow-time simulation.

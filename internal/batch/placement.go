@@ -1,0 +1,348 @@
+package batch
+
+import (
+	"fmt"
+	"sort"
+
+	"gpucluster/internal/sched"
+)
+
+// Placement selects the gang-placement engine: how the scheduler picks
+// which nodes a job's gang lands on. The paper's Section 4.3 shows the
+// choice is not cosmetic — a gang whose ports straddle the stacking
+// trunk pays the trunk's bandwidth on every border exchange.
+type Placement int
+
+const (
+	// PlaceTopo is the topology-aware engine (the default): enumerate
+	// every candidate node set — all distinct contiguous windows, and
+	// non-contiguous assemblies from free fragments when no window is
+	// wide enough — score each by trunk crossing, fragmentation left
+	// behind, and alignment with the Arrange3D grid, and take the best
+	// admissible one.
+	PlaceTopo Placement = iota
+	// PlaceFirstFit is the legacy engine: the first contiguous free
+	// window, take it or leave it. Kept as a policy option so the
+	// trunk-rejection regression (a backfill candidate denied even
+	// though another window would have been admissible) stays
+	// demonstrable.
+	PlaceFirstFit
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceTopo:
+		return "topo"
+	case PlaceFirstFit:
+		return "first-fit"
+	}
+	return fmt.Sprintf("placement(%d)", int(p))
+}
+
+// ParsePlacement maps a CLI string to a Placement.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "topo":
+		return PlaceTopo, nil
+	case "first-fit":
+		return PlaceFirstFit, nil
+	}
+	return 0, fmt.Errorf("batch: unknown placement %q (want topo or first-fit)", s)
+}
+
+// candidate is one potential gang placement, scored but not committed.
+type candidate struct {
+	ranges  []NodeRange
+	crosses bool
+	score   float64
+}
+
+// Score weights. Trunk crossing dominates (it stretches the whole
+// runtime), splitting a gang across fragments is next (ragged neighbor
+// maps, more switch hops), then the fragmentation the placement leaves
+// behind, then decomposition-grid alignment; the final term is a
+// deterministic left-packing tie-break.
+const (
+	scoreTrunkCross = 1000
+	scoreExtraRange = 120
+	scoreLeftover   = 15
+	scoreBrokenRow  = 4
+	scoreTieBreak   = 0.01
+)
+
+// candidates returns placement candidates for a k-node gang whose every
+// node offers at least need bytes of memory, best score first. Under
+// PlaceFirstFit it returns at most one candidate — the first contiguous
+// eligible window — reproducing the legacy behavior exactly. Under
+// PlaceTopo it returns every distinct contiguous window worth
+// considering and, when no free run is wide enough, non-contiguous
+// assemblies built from the free fragments, so a caller with extra
+// constraints (the backfill shadow) can fall through to the next-best
+// placement instead of failing outright.
+func (c *Cluster) candidates(k int, need int64, pol Placement) []candidate {
+	if k <= 0 || k > len(c.nodes) {
+		return nil
+	}
+	if pol == PlaceFirstFit {
+		if first := c.firstFit(c.used, k, need); first >= 0 {
+			rs := []NodeRange{{First: first, Count: k}}
+			return []candidate{{ranges: rs, crosses: c.rangesCrossTrunk(rs)}}
+		}
+		return nil
+	}
+	runs := c.eligibleRuns(need)
+	px := sched.Arrange3D(k).PX
+	var cands []candidate
+	allCross := true
+	for _, r := range runs {
+		if r.Count < k {
+			continue
+		}
+		for _, first := range c.windowStarts(r, k) {
+			cand := c.scored(runs, []NodeRange{{First: first, Count: k}}, px)
+			allCross = allCross && cand.crosses
+			cands = append(cands, cand)
+		}
+	}
+	// Fragment assemblies matter in two cases: no window is wide
+	// enough, or every window straddles the trunk — a non-crossing
+	// split gang beats a crossing contiguous one (and may be the only
+	// placement whose stretched runtime honors a backfill shadow).
+	if len(cands) == 0 || allCross {
+		for _, rs := range c.assemblies(runs, k) {
+			cands = append(cands, c.scored(runs, rs, px))
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	return cands
+}
+
+// firstFit returns the start of the first eligible contiguous run of k
+// nodes in the given bitmap, or -1 — the legacy scan, now skipping
+// nodes short on memory. Shared by live allocation (the cluster's own
+// bitmap) and the backfill shadow simulation (a hypothetical one).
+func (c *Cluster) firstFit(used []bool, k int, need int64) int {
+	run := 0
+	for i := range c.nodes {
+		if used[i] || c.nodes[i].MemBytes < need {
+			run = 0
+			continue
+		}
+		run++
+		if run == k {
+			return i - k + 1
+		}
+	}
+	return -1
+}
+
+// eligibleRuns returns the maximal runs of free nodes with at least
+// need bytes of memory, ascending.
+func (c *Cluster) eligibleRuns(need int64) []NodeRange {
+	var runs []NodeRange
+	start := -1
+	for i := range c.nodes {
+		ok := !c.used[i] && c.nodes[i].MemBytes >= need
+		switch {
+		case ok && start < 0:
+			start = i
+		case !ok && start >= 0:
+			runs = append(runs, NodeRange{First: start, Count: i - start})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		runs = append(runs, NodeRange{First: start, Count: len(c.nodes) - start})
+	}
+	return runs
+}
+
+// windowStarts returns the distinct k-wide window positions worth
+// scoring inside one free run: the run's edges (exact packing) and the
+// trunk-boundary-aligned positions (a window ending exactly at the
+// non-blocking port count, or starting exactly on the trunk side) when
+// the boundary cuts through the run. Any non-crossing window that
+// exists in the run is dominated by one of these.
+func (c *Cluster) windowStarts(r NodeRange, k int) []int {
+	end := r.First + r.Count
+	starts := []int{r.First}
+	appendUnique := func(s int) {
+		for _, have := range starts {
+			if have == s {
+				return
+			}
+		}
+		starts = append(starts, s)
+	}
+	appendUnique(end - k)
+	if nb := c.net.NonBlockingPorts; nb > r.First && nb < end {
+		if nb-k >= r.First {
+			appendUnique(nb - k)
+		}
+		if nb+k <= end {
+			appendUnique(nb)
+		}
+	}
+	return starts
+}
+
+// assemblies builds non-contiguous node sets of k nodes from the free
+// fragments, used only when no single run is wide enough. Three
+// deterministic strategies are scored: pack-left (always succeeds when
+// enough nodes are free), largest-fragments-first (fewest ranges), and
+// purely within one interconnect group (avoids the trunk crossing when
+// one side of the switch has enough free ports).
+func (c *Cluster) assemblies(runs []NodeRange, k int) [][]NodeRange {
+	free := 0
+	for _, r := range runs {
+		free += r.Count
+	}
+	if free < k {
+		return nil
+	}
+	var out [][]NodeRange
+
+	// Pack-left: first k eligible nodes in index order.
+	out = append(out, takeNodes(runs, k))
+
+	// Largest fragments first: fewest ranges; the last fragment is
+	// trimmed from its left edge. Ties break on lower index.
+	byLen := append([]NodeRange(nil), runs...)
+	sort.SliceStable(byLen, func(i, j int) bool {
+		if byLen[i].Count != byLen[j].Count {
+			return byLen[i].Count > byLen[j].Count
+		}
+		return byLen[i].First < byLen[j].First
+	})
+	if largest := takeNodes(byLen, k); largest != nil {
+		sort.Slice(largest, func(i, j int) bool { return largest[i].First < largest[j].First })
+		out = append(out, largest)
+	}
+
+	// Pure interconnect group: if either side of the trunk alone has k
+	// free eligible nodes, an assembly confined to it never crosses.
+	if nb := c.net.NonBlockingPorts; nb > 0 && nb < len(c.nodes) {
+		for _, side := range [][2]int{{0, nb}, {nb, len(c.nodes)}} {
+			clipped := make([]NodeRange, 0, len(runs))
+			for _, r := range runs {
+				lo, hi := r.First, r.First+r.Count
+				if lo < side[0] {
+					lo = side[0]
+				}
+				if hi > side[1] {
+					hi = side[1]
+				}
+				if hi > lo {
+					clipped = append(clipped, NodeRange{First: lo, Count: hi - lo})
+				}
+			}
+			if pure := takeNodes(clipped, k); pure != nil {
+				out = append(out, pure)
+			}
+		}
+	}
+	return out
+}
+
+// takeNodes greedily takes k nodes from the given ranges in order,
+// trimming the last one from its left edge; nil if they hold fewer.
+func takeNodes(rs []NodeRange, k int) []NodeRange {
+	taken := make([]NodeRange, 0, len(rs))
+	left := k
+	for _, r := range rs {
+		take := r.Count
+		if take > left {
+			take = left
+		}
+		taken = append(taken, NodeRange{First: r.First, Count: take})
+		left -= take
+		if left == 0 {
+			return taken
+		}
+	}
+	return nil
+}
+
+// scored builds the candidate record for one node set.
+func (c *Cluster) scored(runs, rs []NodeRange, px int) candidate {
+	crosses := c.rangesCrossTrunk(rs)
+	score := 0.0
+	if crosses {
+		score += scoreTrunkCross
+	}
+	score += scoreExtraRange * float64(len(rs)-1)
+	score += scoreLeftover * float64(leftoverFrags(runs, rs))
+	score += scoreBrokenRow * float64(brokenRows(rs, px))
+	score += scoreTieBreak * float64(rs[0].First)
+	return candidate{ranges: rs, crosses: crosses, score: score}
+}
+
+// leftoverFrags counts the maximal free runs that remain after carving
+// the taken ranges out of the current runs — the fragmentation a
+// placement leaves behind. Both slices must be sorted ascending and
+// every taken range must lie within some run.
+func leftoverFrags(runs, taken []NodeRange) int {
+	frags := 0
+	ti := 0
+	for _, r := range runs {
+		pos := r.First
+		end := r.First + r.Count
+		for ti < len(taken) && taken[ti].First < end {
+			if taken[ti].First > pos {
+				frags++
+			}
+			pos = taken[ti].First + taken[ti].Count
+			ti++
+		}
+		if pos < end {
+			frags++
+		}
+	}
+	return frags
+}
+
+// brokenRows counts decomposition-grid rows (px consecutive ranks,
+// which exchange x-borders pairwise every step) that a range boundary
+// splits across non-adjacent switch ports. A contiguous placement
+// breaks no rows.
+func brokenRows(rs []NodeRange, px int) int {
+	if len(rs) <= 1 || px <= 1 {
+		return 0
+	}
+	broken := 0
+	lastRow := -1
+	rank := 0
+	for _, r := range rs[:len(rs)-1] {
+		rank += r.Count // a discontinuity sits after this range's last rank
+		if rank%px == 0 {
+			continue // boundary falls between rows
+		}
+		if row := rank / px; row != lastRow {
+			broken++
+			lastRow = row
+		}
+	}
+	return broken
+}
+
+// canPlace reports whether a k-node gang with the given memory need
+// could be placed on the free nodes of the used bitmap under the
+// placement policy — the feasibility test the backfill shadow
+// simulation runs against hypothetical future states. First-fit needs a
+// contiguous eligible window; the topology engine only needs enough
+// eligible nodes (pack-left assembly always succeeds).
+func (c *Cluster) canPlace(used []bool, k int, need int64, pol Placement) bool {
+	if pol == PlaceFirstFit {
+		return c.firstFit(used, k, need) >= 0
+	}
+	free := 0
+	for i := range c.nodes {
+		if !used[i] && c.nodes[i].MemBytes >= need {
+			free++
+			if free == k {
+				return true
+			}
+		}
+	}
+	return false
+}

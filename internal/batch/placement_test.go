@@ -1,0 +1,378 @@
+package batch
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gpucluster/internal/netsim"
+)
+
+var errTestBoom = errors.New("boom")
+
+// execFunc adapts a function to the Executor interface for tests.
+type execFunc func(*Job, Allocation) (string, error)
+
+func (f execFunc) Execute(j *Job, a Allocation) (string, error) { return f(j, a) }
+
+// trunkRejectionJobs builds the layout that exposes the first-fit
+// backfill bug on the 32-node, 24-port machine. At t=50s the free
+// windows are [21,25) — straddling the trunk — and [26,30), clean. The
+// head H (10 nodes, shadow 120s from A's completion) blocks; candidate
+// X (4 nodes, 60s estimate, stretched to 120s by TrunkSlowdown 2 on a
+// crossing window) is denied by first-fit, which only ever offers the
+// crossing window, but admitted by the topology engine on [26,30).
+func trunkRejectionJobs() (jobs []*Job, head, cand *Job) {
+	head = &Job{Name: "head", Kind: KindLBM, Nodes: 10, Est: 100 * time.Second, Priority: 4}
+	cand = &Job{Name: "cand", Kind: KindCG, Nodes: 4, Est: 60 * time.Second, Priority: 1}
+	jobs = []*Job{
+		{Name: "A", Kind: KindLBM, Nodes: 21, Est: 120 * time.Second, Priority: 9},
+		// B's estimate is short enough that even trunk-stretched (x2 on
+		// the crossing window first-fit hands it) it frees [21,25) by
+		// t=50s, aligned with D.
+		{Name: "B", Kind: KindLBM, Nodes: 4, Est: 25 * time.Second, Priority: 8},
+		{Name: "C", Kind: KindLBM, Nodes: 1, Est: 300 * time.Second, Priority: 7},
+		{Name: "D", Kind: KindLBM, Nodes: 4, Est: 50 * time.Second, Priority: 6},
+		{Name: "E", Kind: KindLBM, Nodes: 2, Est: 300 * time.Second, Priority: 5},
+		head, cand,
+	}
+	return jobs, head, cand
+}
+
+// TestFirstFitTrunkRejectionRegression reproduces the bug this PR
+// fixes: under first-fit the backfill candidate is rejected outright
+// because the single offered window crosses the trunk and its stretched
+// runtime breaches the EASY shadow — even though another free window
+// would have started it. The topology engine admits it on the clean
+// window, without delaying the reserved head.
+func TestFirstFitTrunkRejectionRegression(t *testing.T) {
+	run := func(pl Placement) (Report, *Job, *Job) {
+		s := New(Config{
+			Cluster:       newTestCluster(32),
+			Policy:        Backfill,
+			Placement:     pl,
+			TrunkSlowdown: 2,
+		})
+		jobs, head, cand := trunkRejectionJobs()
+		submitAll(t, s, jobs)
+		return s.Run(), head, cand
+	}
+
+	ffRep, ffHead, ffCand := run(PlaceFirstFit)
+	if ffCand.Backfilled() {
+		t.Fatalf("first-fit backfilled the candidate at %v; the regression setup is wrong", ffCand.Start)
+	}
+	if ffCand.Start != 120*time.Second {
+		t.Fatalf("first-fit candidate started at %v, want 120s (after the head's reservation)", ffCand.Start)
+	}
+
+	topoRep, topoHead, topoCand := run(PlaceTopo)
+	if !topoCand.Backfilled() {
+		t.Fatal("topology-aware placement did not backfill the candidate")
+	}
+	if topoCand.Start >= 120*time.Second {
+		t.Fatalf("topo candidate started at %v, want before the 120s reservation", topoCand.Start)
+	}
+	if topoCand.Alloc.CrossesTrunk {
+		t.Fatalf("topo picked a trunk-crossing window %v over the clean one", topoCand.Alloc)
+	}
+	// The EASY guarantee holds under both engines: the reserved head
+	// starts exactly at its shadow.
+	for _, h := range []*Job{ffHead, topoHead} {
+		if h.Start != 120*time.Second {
+			t.Fatalf("reserved head started at %v, want its 120s shadow", h.Start)
+		}
+	}
+	if topoRep.Makespan > ffRep.Makespan {
+		t.Errorf("topo makespan %v worse than first-fit %v", topoRep.Makespan, ffRep.Makespan)
+	}
+	checkNoOverlap(t, ffRep.Jobs, 32)
+	checkNoOverlap(t, topoRep.Jobs, 32)
+}
+
+// TestEASYInvariantProperty asserts, over random mixes under both
+// placement engines, that no backfilled gang's scheduler-known
+// (trunk-stretched) end ever exceeds the blocked head's shadow
+// reservation recorded when the backfill was granted.
+func TestEASYInvariantProperty(t *testing.T) {
+	for _, pl := range []Placement{PlaceFirstFit, PlaceTopo} {
+		for seed := int64(1); seed <= 6; seed++ {
+			s := New(Config{
+				Cluster:       newTestCluster(32),
+				Policy:        Backfill,
+				Placement:     pl,
+				TrunkSlowdown: 1.5,
+			})
+			submitAll(t, s, SyntheticMix(seed, 300, 32))
+			rep := s.Run()
+			if len(rep.Jobs) != 300 {
+				t.Fatalf("%v seed %d: finished %d of 300", pl, seed, len(rep.Jobs))
+			}
+			for _, j := range rep.Jobs {
+				if !j.Backfilled() {
+					continue
+				}
+				// With no Actual hook, End is the scheduler-known
+				// stretched completion fixed at start.
+				if j.End > j.shadow {
+					t.Fatalf("%v seed %d: backfilled %s ends %v past its shadow %v",
+						pl, seed, j, j.End, j.shadow)
+				}
+			}
+			checkNoOverlap(t, rep.Jobs, 32)
+		}
+	}
+}
+
+// TestTopoPlacementNoWorseOnDefaultMix pins the acceptance bar on the
+// clusterctl default mix (32 nodes, 200 jobs, seed 42, trunk-slowdown
+// 1.1): the topology engine must not lose makespan or utilization to
+// first-fit under either policy.
+func TestTopoPlacementNoWorseOnDefaultMix(t *testing.T) {
+	for _, pol := range []Policy{FIFO, Backfill} {
+		run := func(pl Placement) Report {
+			s := New(Config{
+				Cluster:       newTestCluster(32),
+				Policy:        pol,
+				Placement:     pl,
+				TrunkSlowdown: 1.1,
+			})
+			submitAll(t, s, SyntheticMix(42, 200, 32))
+			return s.Run()
+		}
+		ff, topo := run(PlaceFirstFit), run(PlaceTopo)
+		if topo.Makespan > ff.Makespan {
+			t.Errorf("%v: topo makespan %v worse than first-fit %v", pol, topo.Makespan, ff.Makespan)
+		}
+		if topo.Utilization < ff.Utilization {
+			t.Errorf("%v: topo utilization %.3f below first-fit %.3f", pol, topo.Utilization, ff.Utilization)
+		}
+	}
+}
+
+// TestNonContiguousAssembly exercises the fragment-assembly path: when
+// no contiguous window exists, the topology engine splits the gang over
+// free fragments while first-fit keeps the job waiting.
+func TestNonContiguousAssembly(t *testing.T) {
+	// Cluster-level: fragment an 8-node machine into free [0,3) and
+	// [6,8) around a busy middle.
+	c := NewCluster(8, netsim.GigabitSwitch(8))
+	a, _ := c.Alloc(3) // [0,3)
+	if _, ok := c.Alloc(3); !ok {
+		t.Fatal("could not occupy the middle") // [3,6)
+	}
+	c.Release(a, 0)
+	cands := c.candidates(5, 0, PlaceTopo)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for a split 5-node gang over fragments [3,6)+... ")
+	}
+	got := c.commit(cands[0])
+	if got.Contiguous() || got.Count != 5 {
+		t.Fatalf("split allocation %v, want 5 nodes over >1 range", got)
+	}
+	nodes := got.Nodes()
+	if len(nodes) != 5 || got.Grid.Size() != 5 {
+		t.Fatalf("rank map %v / grid %v does not cover 5 ranks", nodes, got.Grid)
+	}
+	for r, n := range nodes {
+		if got.Port(r) != n {
+			t.Fatalf("rank %d port %d, want node %d", r, got.Port(r), n)
+		}
+	}
+	c.Release(got, time.Second)
+
+	// Scheduler-level: the split gang starts as soon as enough
+	// fragments free up; first-fit waits for a contiguous window.
+	start := func(pl Placement) time.Duration {
+		s := New(Config{Cluster: NewCluster(8, netsim.GigabitSwitch(8)), Policy: FIFO, Placement: pl})
+		short := &Job{Name: "short", Kind: KindPDE, Nodes: 3, Est: 10 * time.Second, Priority: 9}
+		long := &Job{Name: "long", Kind: KindPDE, Nodes: 3, Est: 100 * time.Second, Priority: 8}
+		tail := &Job{Name: "tail", Kind: KindPDE, Nodes: 2, Est: 10 * time.Second, Priority: 7}
+		wide := &Job{Name: "wide", Kind: KindPDE, Nodes: 5, Est: 20 * time.Second, Priority: 0}
+		submitAll(t, s, []*Job{short, long, tail, wide})
+		rep := s.Run()
+		checkNoOverlap(t, rep.Jobs, 8)
+		return wide.Start
+	}
+	if got := start(PlaceTopo); got != 10*time.Second {
+		t.Fatalf("topo started the wide job at %v, want 10s on fragments", got)
+	}
+	if got := start(PlaceFirstFit); got != 100*time.Second {
+		t.Fatalf("first-fit started the wide job at %v, want 100s (contiguous window)", got)
+	}
+}
+
+// TestHeterogeneousMemoryPlacement pins the granted-nodes memory check:
+// a node with too little memory is skipped by placement (both engines)
+// instead of being blindly granted per the old Spec(0) shortcut.
+func TestHeterogeneousMemoryPlacement(t *testing.T) {
+	for _, pl := range []Placement{PlaceTopo, PlaceFirstFit} {
+		c := NewCluster(4, netsim.GigabitSwitch(4))
+		small := c.Spec(1)
+		small.MemBytes = 512 << 10
+		c.SetSpec(1, small)
+		s := New(Config{Cluster: c, Policy: FIFO, Placement: pl})
+		// KindPDE needs cells*8 bytes: 64*64*32*8 = 1 MiB per node.
+		j := &Job{Name: "mem", Kind: KindPDE, Nodes: 2, Problem: [3]int{64, 64, 32}, Est: time.Second}
+		submitAll(t, s, []*Job{j})
+		rep := s.Run()
+		if len(rep.Jobs) != 1 || j.State != Done {
+			t.Fatalf("%v: job did not finish: %v", pl, j.State)
+		}
+		for _, n := range j.Alloc.Nodes() {
+			if n == 1 {
+				t.Fatalf("%v: placement granted node 1 (512 KiB) to a 1 MiB/node job: %v", pl, j.Alloc)
+			}
+		}
+	}
+	// Admission: a job needing more big-memory nodes than exist is
+	// rejected at submit.
+	c := NewCluster(4, netsim.GigabitSwitch(4))
+	for i := 1; i < 4; i++ {
+		small := c.Spec(i)
+		small.MemBytes = 512 << 10
+		c.SetSpec(i, small)
+	}
+	s := New(Config{Cluster: c, Policy: FIFO})
+	err := s.Submit(&Job{Name: "toobig", Kind: KindPDE, Nodes: 2, Problem: [3]int{64, 64, 32}})
+	if err == nil {
+		t.Fatal("submit accepted a 2-node job with only one sufficient node")
+	}
+}
+
+// TestSubmitLeavesSpecPristine is the regression for Submit mutating
+// caller-owned spec fields: replaying the same *Job specs against a
+// second scheduler must see the original inputs.
+func TestSubmitLeavesSpecPristine(t *testing.T) {
+	j := &Job{Name: "replay", Kind: KindPDE, Nodes: 1, Est: 5 * time.Second}
+	s1 := New(Config{Cluster: newTestCluster(2), Policy: FIFO})
+	submitAll(t, s1, []*Job{j})
+	rep1 := s1.Run()
+	// Advance s1's clock, then resubmit: the old code stamped
+	// j.Submit/j.Steps/j.Problem here.
+	submitAll(t, s1, []*Job{j})
+	s1.Run()
+	if j.Steps != 0 || j.Problem != ([3]int{}) || j.Submit != 0 || j.Est != 5*time.Second {
+		t.Fatalf("spec mutated: Steps=%d Problem=%v Submit=%v Est=%v",
+			j.Steps, j.Problem, j.Submit, j.Est)
+	}
+	if j.ResolvedSteps() != 1 || j.ResolvedProblem() != defaultProblem(KindPDE) {
+		t.Fatalf("resolution missing: steps=%d problem=%v", j.ResolvedSteps(), j.ResolvedProblem())
+	}
+	if j.Arrival() != rep1.Makespan {
+		t.Fatalf("resubmission arrival %v, want the advanced clock %v", j.Arrival(), rep1.Makespan)
+	}
+	// A fresh scheduler sees the pristine spec: the job arrives at 0
+	// and the makespan matches the first run.
+	s2 := New(Config{Cluster: newTestCluster(2), Policy: FIFO})
+	submitAll(t, s2, []*Job{j})
+	rep2 := s2.Run()
+	if j.Arrival() != 0 || rep2.Makespan != rep1.Makespan {
+		t.Fatalf("replay diverged: arrival %v, makespan %v vs %v",
+			j.Arrival(), rep2.Makespan, rep1.Makespan)
+	}
+}
+
+// TestMemoryNeedCeiling pins the KindCG footprint to ceiling division:
+// the largest rank's share, not the floored average.
+func TestMemoryNeedCeiling(t *testing.T) {
+	const perUnknown = 5*12 + 6*4
+	// 65x65 = 4225 unknowns over 2 ranks: the big rank holds 2113.
+	if got, want := memoryNeed(KindCG, [3]int{65, 65, 1}, 2), int64(2113*perUnknown); got != want {
+		t.Fatalf("memoryNeed = %d, want %d (ceiling share)", got, want)
+	}
+	if got, want := memoryNeed(KindCG, [3]int{64, 64, 1}, 4), int64(1024*perUnknown); got != want {
+		t.Fatalf("even split changed: %d, want %d", got, want)
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for _, pl := range []Placement{PlaceTopo, PlaceFirstFit} {
+		got, err := ParsePlacement(pl.String())
+		if err != nil || got != pl {
+			t.Fatalf("round trip %v: got %v, err %v", pl, got, err)
+		}
+	}
+	if _, err := ParsePlacement("mystery"); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}
+
+// TestAssemblyBeatsCrossingWindow pins the case where a contiguous
+// window exists but every one straddles the trunk: a non-crossing
+// assembly from small fragments must still be enumerated and win.
+func TestAssemblyBeatsCrossingWindow(t *testing.T) {
+	// Free runs [0,3), [4,6), [22,27) on the 24-port machine: the only
+	// 5-wide window crosses the trunk; [0,3)+[4,6) does not.
+	c := NewCluster(32, netsim.GigabitSwitch(32))
+	occupy := func(k int) Allocation {
+		a, ok := c.Alloc(k)
+		if !ok {
+			t.Fatalf("setup alloc of %d failed", k)
+		}
+		return a
+	}
+	a0 := occupy(3) // [0,3)
+	occupy(1)       // [3,4)
+	a1 := occupy(2) // [4,6)
+	occupy(16)      // [6,22)
+	a2 := occupy(5) // [22,27)
+	occupy(5)       // [27,32)
+	c.Release(a0, 0)
+	c.Release(a1, 0)
+	c.Release(a2, 0)
+
+	cands := c.candidates(5, 0, PlaceTopo)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := c.commit(cands[0])
+	if best.CrossesTrunk {
+		t.Fatalf("best candidate %v crosses the trunk; assembly [0,3)+[4,6) was available", best)
+	}
+	if best.Contiguous() {
+		t.Fatalf("best candidate %v contiguous; only the crossing window [22,27) is", best)
+	}
+}
+
+// TestReplayResetsLifecycle asserts a failed job replayed into a second
+// scheduler does not inherit the first run's failure.
+func TestReplayResetsLifecycle(t *testing.T) {
+	j := &Job{Name: "flaky", Kind: KindPDE, Nodes: 1, Est: time.Second}
+	fail := execFunc(func(*Job, Allocation) (string, error) {
+		return "", errTestBoom
+	})
+	s1 := New(Config{Cluster: newTestCluster(2), Policy: FIFO, Execute: fail})
+	submitAll(t, s1, []*Job{j})
+	if rep := s1.Run(); rep.Failed != 1 || j.Err == nil {
+		t.Fatalf("setup: first run should fail the job (failed=%d err=%v)", rep.Failed, j.Err)
+	}
+	s2 := New(Config{Cluster: newTestCluster(2), Policy: FIFO})
+	submitAll(t, s2, []*Job{j})
+	rep := s2.Run()
+	if rep.Failed != 0 || j.State != Done || j.Err != nil || j.Detail != "" {
+		t.Fatalf("replay inherited stale lifecycle: failed=%d state=%v err=%v detail=%q",
+			rep.Failed, j.State, j.Err, j.Detail)
+	}
+}
+
+// TestTopoAvoidsTrunkWindow checks the core scoring preference directly:
+// with both a crossing and a clean window free, the engine takes the
+// clean one even when the crossing one is leftmost.
+func TestTopoAvoidsTrunkWindow(t *testing.T) {
+	c := NewCluster(32, netsim.GigabitSwitch(32))
+	if _, ok := c.Alloc(22); !ok { // [0,22): leaves [22,32) free
+		t.Fatal("setup alloc failed")
+	}
+	cands := c.candidates(4, 0, PlaceTopo)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := c.commit(cands[0])
+	if best.CrossesTrunk {
+		t.Fatalf("best candidate %v crosses the trunk; a clean window existed in [24,32)", best)
+	}
+	if first := best.Ranges[0].First; first < 24 {
+		t.Fatalf("best candidate %v overlaps the trunk boundary side", best)
+	}
+}

@@ -6,14 +6,14 @@ import (
 	"time"
 )
 
-// queueLess is the queue discipline: priority descending, then arrival
-// time, then submission order.
+// queueLess is the queue discipline: priority descending, then resolved
+// arrival time, then submission order.
 func queueLess(a, b *Job) bool {
 	if a.Priority != b.Priority {
 		return a.Priority > b.Priority
 	}
-	if a.Submit != b.Submit {
-		return a.Submit < b.Submit
+	if a.arrive != b.arrive {
+		return a.arrive < b.arrive
 	}
 	return a.ID < b.ID
 }
@@ -53,14 +53,14 @@ func (q *queue) remove(j *Job) {
 
 func (q *queue) len() int { return len(q.jobs) }
 
-// nextArrival returns the earliest Submit time strictly after now among
-// pending jobs, for advancing the clock across idle gaps.
+// nextArrival returns the earliest resolved arrival strictly after now
+// among pending jobs, for advancing the clock across idle gaps.
 func (q *queue) nextArrival(now time.Duration) (time.Duration, bool) {
 	var best time.Duration
 	found := false
 	for _, j := range q.jobs {
-		if j.Submit > now && (!found || j.Submit < best) {
-			best = j.Submit
+		if j.arrive > now && (!found || j.arrive < best) {
+			best = j.arrive
 			found = true
 		}
 	}

@@ -12,6 +12,8 @@ import (
 type Report struct {
 	// Policy is the discipline that produced this schedule.
 	Policy Policy
+	// Placement is the gang-placement engine that produced it.
+	Placement Placement
 	// Jobs lists every finished job in completion order.
 	Jobs []*Job
 	// Makespan is the virtual time from scheduler start to the last
@@ -27,15 +29,26 @@ type Report struct {
 	Backfilled int
 	// Failed counts jobs whose workload reported an error.
 	Failed int
+	// TrunkCrossed counts jobs whose gang spanned the stacking trunk,
+	// paying the Section 4.3 bandwidth on every border exchange.
+	TrunkCrossed int
+	// SplitGangs counts jobs placed on a non-contiguous node set
+	// assembled from free fragments.
+	SplitGangs int
+	// AvgFreeFrags is the mean number of free fragments seen at
+	// allocation instants — the fragmentation the placements created.
+	AvgFreeFrags float64
 }
 
 // report assembles the Report from the scheduler's terminal state.
 func (s *Scheduler) report() Report {
 	r := Report{
-		Policy:     s.cfg.Policy,
-		Jobs:       s.finished,
-		NodeBusy:   s.cfg.Cluster.BusyTimes(),
-		Backfilled: s.backfills,
+		Policy:       s.cfg.Policy,
+		Placement:    s.cfg.Placement,
+		Jobs:         s.finished,
+		NodeBusy:     s.cfg.Cluster.BusyTimes(),
+		Backfilled:   s.backfills,
+		AvgFreeFrags: s.cfg.Cluster.AvgFreeFrags(),
 	}
 	var waitSum time.Duration
 	for _, j := range s.finished {
@@ -49,6 +62,12 @@ func (s *Scheduler) report() Report {
 		}
 		if j.State == Failed {
 			r.Failed++
+		}
+		if j.Alloc.CrossesTrunk {
+			r.TrunkCrossed++
+		}
+		if len(j.Alloc.Ranges) > 1 {
+			r.SplitGangs++
 		}
 	}
 	if n := len(s.finished); n > 0 {
@@ -90,10 +109,12 @@ func RoundDuration(d time.Duration) time.Duration {
 // per-node utilization bar chart.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "policy %-8s %d jobs, makespan %v, utilization %.1f%%, avg wait %v, max wait %v, %d backfilled, %d failed\n",
-		r.Policy, len(r.Jobs), RoundDuration(r.Makespan),
+	fmt.Fprintf(&b, "policy %-8s placement %-9s %d jobs, makespan %v, utilization %.1f%%, avg wait %v, max wait %v, %d backfilled, %d failed\n",
+		r.Policy, r.Placement, len(r.Jobs), RoundDuration(r.Makespan),
 		100*r.Utilization, RoundDuration(r.AvgWait), RoundDuration(r.MaxWait),
 		r.Backfilled, r.Failed)
+	fmt.Fprintf(&b, "  placement: %d trunk-crossing gangs, %d split gangs, %.1f avg free fragments at allocation\n",
+		r.TrunkCrossed, r.SplitGangs, r.AvgFreeFrags)
 	const width = 40
 	for i, u := range r.NodeUtilization() {
 		filled := int(u*width + 0.5)

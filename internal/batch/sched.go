@@ -61,6 +61,10 @@ type Config struct {
 	Cluster *Cluster
 	// Policy selects FIFO or Backfill.
 	Policy Policy
+	// Placement selects the gang-placement engine; the zero value is
+	// the topology-aware engine (PlaceTopo), PlaceFirstFit restores the
+	// legacy first-contiguous-window behavior.
+	Placement Placement
 	// Estimate supplies a runtime estimate for jobs submitted with
 	// Est == 0; nil defaults to a PerfEstimator over the paper's
 	// hardware model.
@@ -108,7 +112,10 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Submit validates a job spec, resolves its runtime estimate, and
 // queues it. Jobs may carry a future Submit time; a zero or past Submit
-// arrives at the current clock.
+// arrives at the current clock. The caller's spec fields are never
+// mutated: defaults (Steps, Problem) and the arrival clamp are resolved
+// into scheduler-owned fields, so the same *Job specs can be replayed
+// against a second scheduler — the clusterctl comparison pattern.
 func (s *Scheduler) Submit(j *Job) error {
 	if j.Nodes <= 0 {
 		return fmt.Errorf("batch: %s requests %d nodes", j, j.Nodes)
@@ -117,29 +124,39 @@ func (s *Scheduler) Submit(j *Job) error {
 		return fmt.Errorf("batch: %s requests %d nodes, cluster has %d",
 			j, j.Nodes, s.cfg.Cluster.Size())
 	}
-	if j.Steps <= 0 {
-		j.Steps = 1
+	r := *j // resolved view; the caller's spec stays pristine
+	if r.Steps <= 0 {
+		r.Steps = 1
 	}
-	if j.Problem == ([3]int{}) {
-		j.Problem = defaultProblem(j.Kind)
+	if r.Problem == ([3]int{}) {
+		r.Problem = defaultProblem(r.Kind)
 	}
-	if need, have := memoryNeed(j), s.cfg.Cluster.Spec(0).MemBytes; need > have {
-		return fmt.Errorf("batch: %s needs %d MB per node, nodes have %d MB",
-			j, need>>20, have>>20)
+	if r.Submit < s.now {
+		r.Submit = s.now
+	}
+	need := memoryNeed(r.Kind, r.Problem, r.Nodes)
+	if s.cfg.Cluster.NodesWithMem(need) < j.Nodes {
+		return fmt.Errorf("batch: %s needs %d MB per node on %d nodes, cluster cannot grant that",
+			j, need>>20, j.Nodes)
 	}
 	j.ID = s.nextID
 	s.nextID++
+	j.steps, j.problem, j.arrive, j.memNeed = r.Steps, r.Problem, r.Submit, need
 	j.est = j.Est
 	if j.est <= 0 {
-		j.est = s.cfg.Estimate(j)
+		j.est = s.cfg.Estimate(&r)
 	}
 	if j.est < time.Millisecond {
 		j.est = time.Millisecond
 	}
-	if j.Submit < s.now {
-		j.Submit = s.now
-	}
+	// Reset every scheduler-owned lifecycle field: a replayed job must
+	// not carry a previous schedule's outcome (a stale Err would mark
+	// it Failed again without running).
 	j.State = Queued
+	j.Start, j.End = 0, 0
+	j.Alloc = Allocation{}
+	j.Detail, j.Err = "", nil
+	j.shadow, j.backfilled = 0, false
 	s.pending.push(j)
 	return nil
 }
@@ -186,7 +203,7 @@ func (s *Scheduler) passOnce() bool {
 	var blocked *Job // first eligible job that did not fit
 	var shadow time.Duration
 	for _, j := range s.pending.ordered() {
-		if j.Submit > s.now {
+		if j.arrive > s.now {
 			continue // not yet arrived
 		}
 		if blocked == nil {
@@ -197,7 +214,7 @@ func (s *Scheduler) passOnce() bool {
 				return false // head-of-line blocking
 			}
 			blocked = j
-			shadow = s.shadowStart(j.Nodes)
+			shadow = s.shadowStart(j.Nodes, j.memNeed)
 			continue
 		}
 		// Backfill: only jobs whose estimate drains before the head's
@@ -210,26 +227,38 @@ func (s *Scheduler) passOnce() bool {
 	return false
 }
 
-// tryStart attempts a gang allocation for j at the current instant and,
-// on success, fixes its runtime and pushes its completion event. For
-// backfill starts, shadow is the blocked head's reservation: the
-// scheduler-known trunk stretch of the granted range must still drain
-// before it, else the range is handed back (only unknowable overruns —
-// the Actual hook — may breach the EASY guarantee).
+// tryStart attempts a gang placement for j at the current instant and,
+// on success, fixes its runtime and pushes its completion event. The
+// placement engine ranks every candidate node set; the first (best) one
+// that survives the constraints wins. For backfill starts, shadow is
+// the blocked head's reservation: the scheduler-known trunk stretch of
+// the candidate must still drain before it, else the *next* candidate
+// is tried — a start only fails when no placement works (only
+// unknowable overruns, the Actual hook, may breach the EASY guarantee).
+// Under PlaceFirstFit a single candidate is offered, reproducing the
+// legacy take-it-or-leave-it behavior.
 func (s *Scheduler) tryStart(j *Job, backfilled bool, shadow time.Duration) bool {
-	alloc, ok := s.cfg.Cluster.Alloc(j.Nodes)
-	if !ok {
+	if s.cfg.Cluster.FreeNodes() < j.Nodes {
+		return false // cheap precheck before candidate enumeration
+	}
+	var alloc Allocation
+	placed := false
+	for _, cand := range s.cfg.Cluster.candidates(j.Nodes, j.memNeed, s.cfg.Placement) {
+		if backfilled && s.now+s.stretched(j.est, cand.crosses) > shadow {
+			continue
+		}
+		alloc = s.cfg.Cluster.commit(cand)
+		placed = true
+		break
+	}
+	if !placed {
 		return false
 	}
 	stretch := func(d time.Duration) time.Duration {
-		if alloc.CrossesTrunk && s.cfg.TrunkSlowdown > 1 {
-			return time.Duration(float64(d) * s.cfg.TrunkSlowdown)
-		}
-		return d
+		return s.stretched(d, alloc.CrossesTrunk)
 	}
-	if backfilled && s.now+stretch(j.est) > shadow {
-		s.cfg.Cluster.Release(alloc, 0)
-		return false
+	if backfilled {
+		j.shadow = shadow
 	}
 	s.pending.remove(j)
 	j.Alloc = alloc
@@ -267,22 +296,36 @@ func (s *Scheduler) complete(j *Job) {
 	s.finished = append(s.finished, j)
 }
 
-// shadowStart returns the earliest virtual time a contiguous gang of k
-// nodes can exist, assuming running jobs end on schedule and nothing
-// else starts first — the backfill reservation for a blocked head job.
-func (s *Scheduler) shadowStart(k int) time.Duration {
+// stretched applies the scheduler-known trunk slowdown to a duration
+// when the placement crosses the stacking trunk.
+func (s *Scheduler) stretched(d time.Duration, crosses bool) time.Duration {
+	if crosses && s.cfg.TrunkSlowdown > 1 {
+		return time.Duration(float64(d) * s.cfg.TrunkSlowdown)
+	}
+	return d
+}
+
+// shadowStart returns the earliest virtual time a gang of k nodes (each
+// with memNeed bytes) can be placed under the active placement engine,
+// assuming running jobs end on schedule and nothing else starts first —
+// the backfill reservation for a blocked head job. First-fit demands a
+// contiguous window; the topology engine places as soon as enough
+// eligible nodes are free, so its reservations bind sooner.
+func (s *Scheduler) shadowStart(k int, memNeed int64) time.Duration {
 	used := s.cfg.Cluster.usedCopy()
-	if contiguousFit(used, k) >= 0 {
+	if s.cfg.Cluster.canPlace(used, k, memNeed, s.cfg.Placement) {
 		return s.now
 	}
 	ends := make([]*Job, len(s.running))
 	copy(ends, s.running)
 	sort.Slice(ends, func(i, j int) bool { return ends[i].End < ends[j].End })
 	for _, r := range ends {
-		for i := r.Alloc.First; i < r.Alloc.First+r.Alloc.Count; i++ {
-			used[i] = false
+		for _, nr := range r.Alloc.Ranges {
+			for i := nr.First; i < nr.First+nr.Count; i++ {
+				used[i] = false
+			}
 		}
-		if contiguousFit(used, k) >= 0 {
+		if s.cfg.Cluster.canPlace(used, k, memNeed, s.cfg.Placement) {
 			return r.End
 		}
 	}

@@ -31,15 +31,15 @@ func defaultProblem(k JobKind) [3]int {
 }
 
 // memoryNeed returns the per-node memory footprint of a job's block,
-// checked against NodeSpec.MemBytes at submit.
-func memoryNeed(j *Job) int64 {
-	cells := int64(j.Problem[0]) * int64(j.Problem[1]) * int64(j.Problem[2])
-	switch j.Kind {
+// checked against the node specs at submit and at placement.
+func memoryNeed(kind JobKind, problem [3]int, nodes int) int64 {
+	cells := int64(problem[0]) * int64(problem[1]) * int64(problem[2])
+	switch kind {
 	case KindCG:
 		// Local CSR rows (5-point stencil) plus solver vectors, split
-		// over the gang.
-		unknowns := int64(j.Problem[0]) * int64(j.Problem[1])
-		perNode := unknowns / int64(j.Nodes)
+		// over the gang. The largest rank holds the ceiling share.
+		unknowns := int64(problem[0]) * int64(problem[1])
+		perNode := (unknowns + int64(nodes) - 1) / int64(nodes)
 		return perNode * (5*12 + 6*4)
 	case KindPDE:
 		// Two scalar fields with ghost shells.
@@ -118,10 +118,14 @@ func (x SimExecutor) Execute(j *Job, a Allocation) (string, error) {
 
 // runLBM executes a wind-tunnel flow over the gang: inlet on x-, open
 // outflow on x+, periodic transverse faces, then (optionally) traces a
-// pollutant cloud through the developed flow.
+// pollutant cloud through the developed flow. The gang's ranks map onto
+// the Arrange3D grid in node order (Allocation.Port), so a
+// non-contiguous gang simply sees some neighboring ranks on
+// non-adjacent switch ports.
 func (x SimExecutor) runLBM(j *Job, a Allocation) (string, error) {
 	g := a.Grid
-	global := [3]int{j.Problem[0] * g.PX, j.Problem[1] * g.PY, j.Problem[2] * g.PZ}
+	prob := j.problem
+	global := [3]int{prob[0] * g.PX, prob[1] * g.PY, prob[2] * g.PZ}
 	cfg := cluster.Config{Global: global, Grid: g, Tau: 0.7}
 	cfg.Faces[lbm.FaceXNeg] = lbm.FaceSpec{Type: lbm.Inlet, U: vecmath.Vec3{0.04, 0, 0}}
 	cfg.Faces[lbm.FaceXPos] = lbm.FaceSpec{Type: lbm.Outflow}
@@ -129,19 +133,19 @@ func (x SimExecutor) runLBM(j *Job, a Allocation) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	sim.Run(j.Steps)
+	sim.Run(j.steps)
 	mass := sim.TotalMass()
 	if math.IsNaN(mass) || mass <= 0 {
 		return "", fmt.Errorf("batch: LBM diverged, total mass %v", mass)
 	}
 	detail := fmt.Sprintf("lbm %dx%dx%d on %v: %d steps, mass %.1f",
-		global[0], global[1], global[2], g, j.Steps, mass)
+		global[0], global[1], global[2], g, j.steps, mass)
 	if x.TracerParticles > 0 {
 		field := tracer.FromMacro(global[0], global[1], global[2],
 			sim.GatherDensity(), sim.GatherVelocity(), nil)
 		cloud := tracer.NewCloud(int64(j.ID))
 		cloud.Release(1, global[1]/2, global[2]/2, x.TracerParticles)
-		for i := 0; i < j.Steps; i++ {
+		for i := 0; i < j.steps; i++ {
 			cloud.Step(field)
 		}
 		c := cloud.Centroid()
@@ -153,7 +157,7 @@ func (x SimExecutor) runLBM(j *Job, a Allocation) (string, error) {
 // runCG solves a manufactured Poisson system with the Figure 15
 // distributed CG, one rank per allocated node.
 func runCG(j *Job, a Allocation) (string, error) {
-	n := j.Problem[0]
+	n := j.problem[0]
 	A := sparse.Poisson2D(n)
 	ranks := a.Count
 	if A.Rows < ranks {
@@ -172,7 +176,7 @@ func runCG(j *Job, a Allocation) (string, error) {
 		r := c.Rank()
 		d := sparse.NewDistMatrix(A, r, ranks)
 		d.Setup(c)
-		local, st := sparse.DistCG(c, d, rhs[off[r]:off[r]+sz[r]], 1e-6, j.Steps)
+		local, st := sparse.DistCG(c, d, rhs[off[r]:off[r]+sz[r]], 1e-6, j.steps)
 		stats[r] = st
 		copy(got[off[r]:], local)
 	})
@@ -194,8 +198,8 @@ func runCG(j *Job, a Allocation) (string, error) {
 // z-slab of Problem[2] planes per allocated node, and checks that the
 // periodic domain conserves total heat.
 func runPDE(j *Job, a Allocation) (string, error) {
-	nx, ny := j.Problem[0], j.Problem[1]
-	nz := j.Problem[2] * a.Count
+	nx, ny := j.problem[0], j.problem[1]
+	nz := j.problem[2] * a.Count
 	hot := func(x, y, z int) float32 {
 		if x >= nx/4 && x < 3*nx/4 && y >= ny/4 && y < 3*ny/4 && z >= nz/4 && z < 3*nz/4 {
 			return 1
@@ -210,7 +214,7 @@ func runPDE(j *Job, a Allocation) (string, error) {
 			}
 		}
 	}
-	field := pde.ParallelHeat3D(nx, ny, nz, 1.0/6.0, a.Count, j.Steps, hot)
+	field := pde.ParallelHeat3D(nx, ny, nz, 1.0/6.0, a.Count, j.steps, hot)
 	var got float64
 	for _, v := range field {
 		got += float64(v)
@@ -219,7 +223,7 @@ func runPDE(j *Job, a Allocation) (string, error) {
 		return "", fmt.Errorf("batch: heat not conserved: %.4f -> %.4f", want, got)
 	}
 	return fmt.Sprintf("pde heat %dx%dx%d on %d slabs: %d steps, heat drift %.1e",
-		nx, ny, nz, a.Count, j.Steps, math.Abs(got-want)), nil
+		nx, ny, nz, a.Count, j.steps, math.Abs(got-want)), nil
 }
 
 // SyntheticMix generates a deterministic skewed batch of count jobs for
