@@ -1,19 +1,24 @@
 // Clusterctl is the batch front door to the simulated GPU cluster: it
-// submits a mixed batch of LBM, distributed-CG, and heat-stencil jobs
-// to the internal/batch scheduler, drains the queue on the virtual
-// clock, and prints the operator report — makespan, per-node
-// utilization bars, queue waits, placement stats — under the FIFO and
-// backfill policies and the first-fit and topology-aware placement
-// engines.
+// submits a batch of LBM, distributed-CG, and heat-stencil jobs to the
+// internal/batch scheduler — a deterministic synthetic mix, or a
+// recorded workload replayed from a Standard-Workload-Format trace —
+// drains the queue on the virtual clock, and prints the operator
+// report (makespan, per-node utilization bars, queue waits, placement
+// and preemption stats) under any of the four queue policies and the
+// two placement engines.
 //
 // Usage:
 //
 //	clusterctl -nodes 32 -jobs 200 -policy both -seed 42
-//	clusterctl -placement both          # compare placement engines too
-//	clusterctl -execute -jobs 8         # actually run the workloads
+//	clusterctl -policy all -preempt            # compare all four policies
+//	clusterctl -trace examples/traces/sample.swf -policy fairshare
+//	clusterctl -placement both                 # compare placement engines too
+//	clusterctl -execute -jobs 8                # actually run the workloads
+//	clusterctl -bench-json BENCH_batch.json    # emit the CI perf snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -33,11 +38,14 @@ type result struct {
 func main() {
 	nodes := flag.Int("nodes", 32, "cluster size (the paper's machine had 32 compute nodes)")
 	jobs := flag.Int("jobs", 200, "number of jobs in the synthetic mixed batch")
-	policy := flag.String("policy", "both", "queue policy: fifo, backfill, or both (compare)")
+	policy := flag.String("policy", "both", "queue policy: fifo, easy, conservative, fairshare, both (fifo+easy), or all")
 	placement := flag.String("placement", "topo", "gang placement: first-fit, topo, or both (compare)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	trunk := flag.Float64("trunk-slowdown", 1.1, "runtime multiplier for gangs spanning the stacking trunk")
+	preempt := flag.Bool("preempt", false, "enable priority preemption with checkpoint/restart")
+	tracePath := flag.String("trace", "", "replay an SWF-style workload trace instead of the synthetic mix")
 	execute := flag.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
+	benchJSON := flag.String("bench-json", "", "write a scheduler throughput/makespan snapshot to this file and exit")
 	verbose := flag.Bool("v", false, "print the per-job table")
 	flag.Parse()
 
@@ -48,8 +56,18 @@ func main() {
 		log.Fatalf("clusterctl: -jobs %d: job count must be non-negative", *jobs)
 	}
 
-	policies := []batch.Policy{batch.FIFO, batch.Backfill}
-	if *policy != "both" {
+	if *benchJSON != "" {
+		writeBenchJSON(*benchJSON, *nodes, *seed)
+		return
+	}
+
+	var policies []batch.Policy
+	switch *policy {
+	case "both":
+		policies = []batch.Policy{batch.FIFO, batch.Backfill}
+	case "all":
+		policies = batch.Policies()
+	default:
 		p, err := batch.ParsePolicy(*policy)
 		if err != nil {
 			log.Fatal(err)
@@ -65,10 +83,22 @@ func main() {
 		placements = []batch.Placement{p}
 	}
 
-	fmt.Printf("clusterctl: %d jobs on %d nodes (seed %d)\n\n", *jobs, *nodes, *seed)
-	// One mix serves every scheduler run: Submit resolves defaults into
-	// scheduler-owned fields, so the specs stay pristine across replays.
-	mix := batch.SyntheticMix(*seed, *jobs, *nodes)
+	// One job-spec slice serves every scheduler run: Submit resolves
+	// defaults into scheduler-owned fields, so the specs stay pristine
+	// across replays.
+	var mix []*batch.Job
+	var actual func(*batch.Job, time.Duration) time.Duration
+	if *tracePath != "" {
+		recs, err := batch.LoadTrace(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix, actual = batch.TraceJobs(recs, *nodes)
+		fmt.Printf("clusterctl: replaying %d trace jobs from %s on %d nodes\n\n", len(mix), *tracePath, *nodes)
+	} else {
+		mix = batch.SyntheticMix(*seed, *jobs, *nodes)
+		fmt.Printf("clusterctl: %d jobs on %d nodes (seed %d)\n\n", *jobs, *nodes, *seed)
+	}
 	if *execute {
 		shrink(mix, *nodes)
 	}
@@ -79,7 +109,9 @@ func main() {
 				Cluster:       batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
 				Policy:        pol,
 				Placement:     plc,
+				Actual:        actual,
 				TrunkSlowdown: *trunk,
+				Preempt:       *preempt,
 			}
 			if *execute {
 				cfg.Execute = batch.SimExecutor{TracerParticles: 1000}
@@ -100,14 +132,17 @@ func main() {
 		}
 	}
 
-	if len(policies) == 2 {
+	if len(policies) > 1 {
 		for _, plc := range placements {
-			f := find(results, plc, batch.FIFO)
-			b := find(results, plc, batch.Backfill)
-			fmt.Printf("placement %s, backfill vs fifo: makespan %v -> %v (%s), utilization %.1f%% -> %.1f%%, %d jobs backfilled\n",
-				plc, batch.RoundDuration(f.Makespan), batch.RoundDuration(b.Makespan),
-				gain(f.Makespan, b.Makespan),
-				100*f.Utilization, 100*b.Utilization, b.Backfilled)
+			f := find(results, plc, policies[0])
+			fmt.Printf("policy comparison (placement %s, baseline %s):\n", plc, policies[0])
+			for _, pol := range policies {
+				r := find(results, plc, pol)
+				fmt.Printf("  %-13s makespan %8v (%s), utilization %5.1f%%, avg wait %8v, max wait %8v, %d backfilled, %d preempted\n",
+					pol, batch.RoundDuration(r.Makespan), gain(f.Makespan, r.Makespan),
+					100*r.Utilization, batch.RoundDuration(r.AvgWait), batch.RoundDuration(r.MaxWait),
+					r.Backfilled, r.Preempted)
+			}
 		}
 	}
 	if len(placements) == 2 {
@@ -128,6 +163,73 @@ func main() {
 	}
 }
 
+// benchSnapshot is the BENCH_batch.json schema: scheduler throughput on
+// a large queue plus the default-mix makespan under every policy — the
+// perf trajectory CI records per commit.
+type benchSnapshot struct {
+	Schema      int                `json:"schema"`
+	Nodes       int                `json:"nodes"`
+	Seed        int64              `json:"seed"`
+	BenchJobs   int                `json:"bench_jobs"`
+	WallMS      float64            `json:"wall_ms"`
+	JobsPerSec  float64            `json:"jobs_per_sec"`
+	MixJobs     int                `json:"mix_jobs"`
+	MakespanMS  map[string]float64 `json:"makespan_ms"`
+	AvgWaitMS   map[string]float64 `json:"avg_wait_ms"`
+	Utilization map[string]float64 `json:"utilization"`
+}
+
+// writeBenchJSON measures scheduling throughput (jobs/s through a
+// 1000-job EASY queue, wall clock) and the default-mix schedule quality
+// under each policy, then writes the snapshot for the CI artifact.
+func writeBenchJSON(path string, nodes int, seed int64) {
+	run := func(pol batch.Policy, count int) (batch.Report, time.Duration) {
+		s := batch.New(batch.Config{
+			Cluster:       batch.NewCluster(nodes, netsim.GigabitSwitch(nodes)),
+			Policy:        pol,
+			TrunkSlowdown: 1.1,
+		})
+		for _, j := range batch.SyntheticMix(seed, count, nodes) {
+			if err := s.Submit(j); err != nil {
+				log.Fatal(err)
+			}
+		}
+		t0 := time.Now()
+		rep := s.Run()
+		return rep, time.Since(t0)
+	}
+	const benchJobs = 1000
+	_, wall := run(batch.Backfill, benchJobs)
+	snap := benchSnapshot{
+		Schema:      1,
+		Nodes:       nodes,
+		Seed:        seed,
+		BenchJobs:   benchJobs,
+		WallMS:      float64(wall.Microseconds()) / 1e3,
+		JobsPerSec:  benchJobs / wall.Seconds(),
+		MixJobs:     200,
+		MakespanMS:  map[string]float64{},
+		AvgWaitMS:   map[string]float64{},
+		Utilization: map[string]float64{},
+	}
+	for _, pol := range batch.Policies() {
+		rep, _ := run(pol, snap.MixJobs)
+		snap.MakespanMS[pol.String()] = float64(rep.Makespan.Microseconds()) / 1e3
+		snap.AvgWaitMS[pol.String()] = float64(rep.AvgWait.Microseconds()) / 1e3
+		snap.Utilization[pol.String()] = rep.Utilization
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusterctl: wrote %s (%.0f jobs/s scheduling throughput, easy makespan %.0f ms)\n",
+		path, snap.JobsPerSec, snap.MakespanMS["easy"])
+}
+
 // find returns the report for one (placement, policy) run.
 func find(results []result, plc batch.Placement, pol batch.Policy) batch.Report {
 	for _, r := range results {
@@ -144,11 +246,11 @@ func gain(base, improved time.Duration) string {
 	if base <= 0 {
 		return "n/a"
 	}
-	return fmt.Sprintf("%.1f%% lower", 100*(1-float64(improved)/float64(base)))
+	return fmt.Sprintf("%+.1f%%", 100*(float64(improved)/float64(base)-1))
 }
 
-// shrink scales a synthetic batch down to sizes the functional
-// simulators can actually run in seconds.
+// shrink scales a batch down to sizes the functional simulators can
+// actually run in seconds.
 func shrink(jobs []*batch.Job, clusterNodes int) {
 	maxGang := 6
 	if clusterNodes < maxGang {
@@ -174,18 +276,21 @@ func shrink(jobs []*batch.Job, clusterNodes int) {
 }
 
 func printJobs(rep batch.Report) {
-	fmt.Printf("  %-4s %-10s %-5s %-6s %-5s %-9s %-9s %-9s %s\n",
-		"id", "name", "kind", "nodes", "prio", "wait", "runtime", "state", "detail")
+	fmt.Printf("  %-4s %-10s %-6s %-5s %-6s %-5s %-9s %-9s %-9s %s\n",
+		"id", "name", "user", "kind", "nodes", "prio", "wait", "runtime", "state", "detail")
 	for _, j := range rep.Jobs {
 		mark := ""
 		if j.Backfilled() {
 			mark = " *bf"
 		}
+		if j.Preemptions() > 0 {
+			mark += fmt.Sprintf(" *pre%d", j.Preemptions())
+		}
 		if !j.Alloc.Contiguous() {
 			mark += " *split"
 		}
-		fmt.Printf("  %-4d %-10s %-5s %-6d %-5d %-9v %-9v %-9s %s%s\n",
-			j.ID, j.Name, j.Kind, j.Nodes, j.Priority,
+		fmt.Printf("  %-4d %-10s %-6s %-5s %-6d %-5d %-9v %-9v %-9s %s%s\n",
+			j.ID, j.Name, j.User, j.Kind, j.Nodes, j.Priority,
 			batch.RoundDuration(j.Wait()), batch.RoundDuration(j.Runtime()),
 			j.State, j.Detail, mark)
 	}

@@ -97,8 +97,14 @@ type Job struct {
 	// as one contiguous range, for its whole runtime.
 	Nodes int
 	// Priority orders the queue; higher runs first. Equal priorities
-	// fall back to submit order.
+	// fall back to submit time, then job ID, so replays are
+	// deterministic. Priority also gates preemption: a blocked job may
+	// only suspend running jobs of strictly lower priority.
 	Priority int
+	// User attributes the job to a submitting principal. The fair-share
+	// policy orders the queue by each user's decayed usage; the empty
+	// string is a distinct anonymous user.
+	User string
 	// Problem is the per-node sub-domain extents for KindLBM/KindPDE,
 	// or {n, n, 1} selecting an n x n Poisson grid for KindCG. Zero
 	// selects a per-kind default (see ResolvedProblem).
@@ -116,11 +122,17 @@ type Job struct {
 	// mutated by the scheduler: the resolved arrival is Arrival().
 	Submit time.Duration
 
-	// State, Start and End are scheduler-owned lifecycle fields.
+	// State, Start and End are scheduler-owned lifecycle fields. Start
+	// is the first dispatch; a preempted job keeps it across restarts.
 	State      JobState
 	Start, End time.Duration
-	// Alloc is the gang allocation while Running and after completion.
+	// Alloc is the gang allocation while Running and, after completion,
+	// the final segment's allocation (earlier ones are in History).
 	Alloc Allocation
+	// History records every run segment in dispatch order. A
+	// run-to-completion job has one entry; a preempted job has one per
+	// dispatch, the earlier ones flagged Preempted.
+	History []Segment
 	// Detail is the workload adapter's result summary (mass balance,
 	// solver residual, tracer centroid, ...).
 	Detail string
@@ -137,6 +149,31 @@ type Job struct {
 	memNeed    int64         // per-node memory footprint
 	shadow     time.Duration // head reservation at backfill time (invariant checks)
 	backfilled bool
+
+	// Preemption / checkpoint-restart accounting (scheduler-owned).
+	workTotal   time.Duration // true total work, fixed at first dispatch (Actual hook)
+	workLeft    time.Duration // unstretched work remaining
+	doneWork    time.Duration // scheduler-known completed work (estimate basis)
+	restoreCost time.Duration // reload charge pending for the next dispatch
+	overhead    time.Duration // checkpoint+restore time charged so far
+	preempts    int           // times this job was preempted
+	preempting  bool          // currently draining its checkpoint
+	snapshot    *Snapshot     // saved workload image between dispatches
+	segStart    time.Duration // current segment's dispatch instant
+	segRestore  time.Duration // restore charge inside the current segment
+	segFactor   float64       // trunk stretch factor of the current segment
+	promise     time.Duration // reserved start recorded when first bypassed
+	promised    bool
+}
+
+// Segment is one dispatch of a job: the gang it ran on and the interval
+// it held those nodes, including any restore and checkpoint overhead.
+// Preempted marks segments that ended in a checkpoint rather than
+// completion.
+type Segment struct {
+	Alloc      Allocation
+	Start, End time.Duration
+	Preempted  bool
 }
 
 // Estimate returns the runtime estimate the scheduler resolved at
@@ -164,6 +201,41 @@ func (j *Job) Runtime() time.Duration { return j.End - j.Start }
 // Backfilled reports whether the job jumped a blocked higher-priority
 // job under the backfill policy.
 func (j *Job) Backfilled() bool { return j.backfilled }
+
+// Preemptions returns how many times the job was checkpointed off its
+// gang to make room for a higher-priority arrival.
+func (j *Job) Preemptions() int { return j.preempts }
+
+// CheckpointOverhead returns the total checkpoint and restore time the
+// scheduler charged to this job's allocations.
+func (j *Job) CheckpointOverhead() time.Duration { return j.overhead }
+
+// Promise returns the start time reserved for this job when another job
+// was first scheduled ahead of it (the EASY shadow or the conservative
+// reservation), and whether one was ever recorded.
+func (j *Job) Promise() (time.Duration, bool) { return j.promise, j.promised }
+
+// BusyTime returns the node-holding time summed over run segments —
+// End-Start for a run-to-completion job, and the sum excluding queued
+// gaps for a preempted one.
+func (j *Job) BusyTime() time.Duration {
+	var d time.Duration
+	for _, seg := range j.History {
+		d += seg.End - seg.Start
+	}
+	return d
+}
+
+// estLeft returns the scheduler-known remaining runtime estimate: the
+// declared estimate minus observed progress, floored at a millisecond.
+// Restore charges are accounted separately.
+func (j *Job) estLeft() time.Duration {
+	d := j.est - j.doneWork
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
 
 func (j *Job) String() string {
 	return fmt.Sprintf("job %d %q (%s, %d nodes, prio %d)", j.ID, j.Name, j.Kind, j.Nodes, j.Priority)

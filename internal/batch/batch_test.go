@@ -14,15 +14,21 @@ func newTestCluster(n int) *Cluster {
 	return NewCluster(n, netsim.GigabitSwitch(n))
 }
 
-// checkNoOverlap reconstructs per-node occupancy from completed jobs
-// and fails on any instant where two gangs share a node.
+// checkNoOverlap reconstructs per-node occupancy from completed jobs'
+// run segments (preempted jobs hold several gangs over disjoint
+// intervals) and fails on any instant where two gangs share a node.
 func checkNoOverlap(t *testing.T, jobs []*Job, nodes int) {
 	t.Helper()
 	type span struct{ start, end time.Duration }
 	perNode := make([][]span, nodes)
 	for _, j := range jobs {
-		for _, i := range j.Alloc.Nodes() {
-			perNode[i] = append(perNode[i], span{j.Start, j.End})
+		if len(j.History) == 0 {
+			t.Fatalf("%s finished with no run segments", j)
+		}
+		for _, seg := range j.History {
+			for _, i := range seg.Alloc.Nodes() {
+				perNode[i] = append(perNode[i], span{seg.Start, seg.End})
+			}
 		}
 	}
 	for n, spans := range perNode {
@@ -286,7 +292,7 @@ func TestReportString(t *testing.T) {
 	submitAll(t, s, SyntheticMix(3, 20, 4))
 	rep := s.Run()
 	out := rep.String()
-	if !strings.Contains(out, "policy backfill") || !strings.Contains(out, "node  0 [") {
+	if !strings.Contains(out, "policy easy") || !strings.Contains(out, "node  0 [") {
 		t.Fatalf("report missing summary or per-node bars:\n%s", out)
 	}
 	if len(rep.NodeUtilization()) != 4 {

@@ -1,0 +1,176 @@
+package batch
+
+import (
+	"sort"
+	"time"
+)
+
+// Conservative backfilling: unlike EASY, which reserves only for the
+// blocked head, every queued job is planned against a capacity profile
+// — busy-node counts over future virtual time, built from running jobs
+// and the reservations of everything ahead in the queue. A job starts
+// out of order only when its reserved slot begins now, so no earlier
+// job's reservation is ever pushed back by a backfill.
+//
+// The profile tracks node *counts*, not identities. Under the
+// topology-aware placement engine that is exact — any k free eligible
+// nodes can be assembled into a gang — so reservations are honored by
+// construction. Under first-fit, contiguity can delay a count-feasible
+// start; the job is then re-planned at the next event (a best-effort
+// reservation, which the README documents).
+//
+// Reservations are re-planned on every scheduling event. When reserved
+// durations equal realized ones (runtimes match estimates, no
+// placement-dependent trunk stretch), the plan is realized exactly and
+// every job starts no later than its first promise. Placement-dependent
+// stretch (or estimate overruns) makes slots end earlier or later than
+// planned; re-planning then compresses the schedule, which can shift an
+// individual job's slot in either direction even though no backfill
+// ever delays the reservations of the plan it was admitted under.
+
+// profile is a step function of planned busy-node counts: busy[i] holds
+// over [times[i], times[i+1]), and the last entry extends to infinity.
+type profile struct {
+	times []time.Duration
+	busy  []int
+}
+
+// buildProfile snapshots the current machine state: busy nodes now,
+// dropping as each running job (or checkpoint drain) ends on schedule.
+func (s *Scheduler) buildProfile() *profile {
+	type ev struct {
+		t     time.Duration
+		delta int
+	}
+	evs := make([]ev, 0, len(s.running))
+	for _, r := range s.running {
+		evs = append(evs, ev{r.End, -r.Alloc.Count})
+	}
+	sort.Slice(evs, func(i, k int) bool { return evs[i].t < evs[k].t })
+	p := &profile{
+		times: []time.Duration{s.now},
+		busy:  []int{s.cfg.Cluster.Size() - s.cfg.Cluster.FreeNodes()},
+	}
+	for _, e := range evs {
+		last := len(p.times) - 1
+		if e.t == p.times[last] {
+			p.busy[last] += e.delta
+			continue
+		}
+		p.times = append(p.times, e.t)
+		p.busy = append(p.busy, p.busy[last]+e.delta)
+	}
+	return p
+}
+
+// insert splits intervals so a breakpoint exists exactly at t (>= the
+// profile start) and returns its index.
+func (p *profile) insert(t time.Duration) int {
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] >= t })
+	if i < len(p.times) && p.times[i] == t {
+		return i
+	}
+	// t falls inside interval i-1 (or beyond the last breakpoint, where
+	// the tail value carries over).
+	p.times = append(p.times, 0)
+	p.busy = append(p.busy, 0)
+	copy(p.times[i+1:], p.times[i:])
+	copy(p.busy[i+1:], p.busy[i:])
+	p.times[i] = t
+	p.busy[i] = p.busy[i-1]
+	return i
+}
+
+// add reserves k nodes over [from, to).
+func (p *profile) add(from, to time.Duration, k int) {
+	if to <= from {
+		return
+	}
+	a := p.insert(from)
+	b := p.insert(to)
+	for i := a; i < b; i++ {
+		p.busy[i] += k
+	}
+}
+
+// earliest returns the first instant at which busy stays at or below
+// limit for a full window of length d. limit must be >= 0 (the far
+// future is always idle, so the search terminates).
+func (p *profile) earliest(d time.Duration, limit int) time.Duration {
+	t := p.times[0]
+	i := 0
+	for {
+		viol := -1
+		for j := i; j < len(p.times); j++ {
+			if j > i && p.times[j] >= t+d {
+				break
+			}
+			if p.busy[j] > limit {
+				viol = j
+				break
+			}
+		}
+		if viol < 0 {
+			return t
+		}
+		if viol+1 >= len(p.times) {
+			// The infinite tail violates: impossible for limit >= 0
+			// because every running job eventually ends.
+			return p.times[len(p.times)-1]
+		}
+		t = p.times[viol+1]
+		i = viol + 1
+	}
+}
+
+// conservativePass plans the whole queue against the capacity profile,
+// starting jobs whose reservation begins now; it reports whether any
+// job started (a start changes the machine, so the caller rescans).
+func (s *Scheduler) conservativePass() bool {
+	prof := s.buildProfile()
+	size := s.cfg.Cluster.Size()
+	head := true
+	jumped := false // an earlier job is held to a future reservation
+	for _, j := range s.pending.ordered(s.less) {
+		if j.arrive > s.now {
+			continue
+		}
+		// Reservations use the worst-case trunk stretch so a slot is
+		// always long enough for whatever placement the start gets.
+		d := j.restoreCost + s.stretched(j.estLeft(), true)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		// Eligible-node lower bound: free eligible >= eligible - busy,
+		// so capping busy at eligible-k guarantees a feasible gang
+		// under the topology engine even on heterogeneous memory.
+		eligible := s.cfg.Cluster.NodesWithMem(j.memNeed)
+		limit := eligible - j.Nodes
+		if c := size - j.Nodes; c < limit {
+			limit = c
+		}
+		t := prof.earliest(d, limit)
+		if t == s.now && s.tryStart(j, jumped, 0, false) {
+			return true
+		}
+		if head {
+			before := s.ckptInFlight
+			s.preemptFor(j)
+			if s.ckptInFlight > before {
+				// Checkpoints just began draining: the profile no
+				// longer reflects the rewritten completion events, so
+				// re-plan at the drain. A wave already in flight from
+				// an earlier event does NOT abort the pass — its drain
+				// ends are in the profile and backfill goes on.
+				return false
+			}
+		}
+		head = false
+		if t > s.now && !j.promised {
+			j.promise, j.promised = t, true
+		}
+		prof.add(t, t+d, j.Nodes)
+		jumped = true
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package batch
+
+import (
+	"math"
+	"time"
+)
+
+// Fair-share accounting: each user accumulates node-seconds of granted
+// machine time, exponentially decayed with a configurable half-life of
+// virtual time, so recent consumption weighs more than last week's. The
+// FairShare policy sorts the queue by this decayed usage ascending —
+// light users jump heavy ones — with priority, submit time, and job ID
+// breaking ties exactly as under the other disciplines.
+
+// usage is one user's decayed account: val node-seconds as of time at.
+type usage struct {
+	val float64
+	at  time.Duration
+}
+
+// halfLife returns the configured usage decay half-life.
+func (s *Scheduler) halfLife() time.Duration {
+	if s.cfg.FairShareHalfLife > 0 {
+		return s.cfg.FairShareHalfLife
+	}
+	return 30 * time.Minute
+}
+
+// usageOf returns user u's decayed node-seconds at the current clock.
+// Relative order between users is invariant under pure clock advance
+// (every account decays by the same rate), so the queue order only
+// truly changes when usage is charged.
+func (s *Scheduler) usageOf(u string) float64 {
+	a := s.usage[u]
+	if a == nil {
+		return 0
+	}
+	return a.val * math.Exp2(-float64(s.now-a.at)/float64(s.halfLife()))
+}
+
+// chargeUsage adds nodeTime (node-duration product) to user u's decayed
+// account and invalidates the fair-share queue order.
+func (s *Scheduler) chargeUsage(u string, nodeTime time.Duration) {
+	if nodeTime <= 0 {
+		return
+	}
+	a := s.usage[u]
+	if a == nil {
+		a = &usage{}
+		s.usage[u] = a
+	}
+	a.val = a.val*math.Exp2(-float64(s.now-a.at)/float64(s.halfLife())) + nodeTime.Seconds()
+	a.at = s.now
+	if s.cfg.Policy == FairShare {
+		s.pending.dirty = true
+	}
+}

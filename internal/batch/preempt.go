@@ -1,0 +1,206 @@
+package batch
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"gpucluster/internal/perfmodel"
+)
+
+// Priority preemption with checkpoint/restart. When Config.Preempt is
+// set and the blocked head of the queue has strictly higher priority
+// than running jobs, the scheduler suspends the cheapest sufficient set
+// of low-priority gangs: each victim drains a checkpoint of its
+// workload image (CheckpointCost, charged as continued node occupancy),
+// re-enters the queue with its completed work banked, and pays
+// RestoreCost when it is dispatched again. The preemptor then starts on
+// the drained nodes through the ordinary scheduling pass — priority
+// order guarantees it is offered them first.
+
+// Snapshot is a checkpointed workload image: how far the workload had
+// advanced and how large the saved per-node state is. Executors that
+// implement Checkpointer attach their private resumable state.
+type Snapshot struct {
+	// Steps is the number of workload steps completed at capture.
+	Steps int
+	// Bytes records the per-node image size for inspection — the same
+	// figure the default cost model prices prospectively from the
+	// job's memory footprint (the drain is charged before the image is
+	// captured).
+	Bytes int64
+
+	state any // adapter-private resumable state (e.g. a live simulator)
+}
+
+// Checkpointer is optionally implemented by an Executor whose workloads
+// can be checkpointed at preemption and resumed at the next dispatch.
+// Without it, preemption still works — progress accounting is purely
+// virtual and Execute runs the whole workload once at final completion.
+type Checkpointer interface {
+	// Checkpoint advances j's workload to done steps (resuming from
+	// prev, which is nil on the first preemption) and captures a
+	// restartable image. An error discards the snapshot: the job
+	// restarts from scratch at resume, losing its real (but not its
+	// virtual) progress.
+	Checkpoint(j *Job, prev *Snapshot, done int) (*Snapshot, error)
+	// Resume completes j's workload from snap, running the remaining
+	// steps, and returns the result summary for the report.
+	Resume(j *Job, snap *Snapshot) (detail string, err error)
+}
+
+// ckptHardware is the fixed hardware model behind the default
+// checkpoint/restore costs: the paper's AGP 8x bus and Gigabit links.
+var ckptHardware = perfmodel.Paper()
+
+// DefaultCheckpointCost models draining one node's workload image at a
+// checkpoint: the GPU->host readback over the (asymmetric, slow-up) AGP
+// bus, then the write to the shared checkpoint store over the node's
+// Gigabit link. Gang nodes drain in parallel, so the job pays the
+// per-node cost once regardless of width.
+func DefaultCheckpointCost(j *Job) time.Duration {
+	h := ckptHardware
+	bytes := float64(j.memNeed)
+	readback := time.Duration(bytes/(h.Bus.UpBandwidth*h.Bus.Efficiency)*float64(time.Second)) + h.Bus.OpLatency
+	store := time.Duration(bytes / (h.Net.LinkBandwidth * h.Net.Efficiency) * float64(time.Second))
+	return readback + store
+}
+
+// DefaultRestoreCost models reloading a checkpointed image at the next
+// dispatch: the read back from the store plus the host->GPU download,
+// which rides the fast direction of the AGP bus.
+func DefaultRestoreCost(j *Job) time.Duration {
+	h := ckptHardware
+	bytes := float64(j.memNeed)
+	fetch := time.Duration(bytes / (h.Net.LinkBandwidth * h.Net.Efficiency) * float64(time.Second))
+	download := time.Duration(bytes/(h.Bus.DownBandwidth*h.Bus.Efficiency)*float64(time.Second)) + h.Bus.OpLatency
+	return fetch + download
+}
+
+// preemptFor suspends the cheapest sufficient set of running gangs so
+// the blocked job j can be placed once their checkpoints drain. A
+// victim must have strictly lower priority AND rank behind j in the
+// active discipline order — under FIFO/EASY/conservative those
+// coincide, but under fair-share the second condition stops a heavy
+// user's high-priority job from evicting a light user's gang the
+// discipline just dispatched (which would otherwise thrash:
+// zero-progress checkpoint/restore cycles). It is a no-op unless
+// Config.Preempt is set, and at most one checkpoint wave is in flight
+// at a time (a second blocked job waits for the first drain to settle
+// before triggering another — keeping preemption decisions serialized
+// and deterministic).
+func (s *Scheduler) preemptFor(j *Job) {
+	if !s.cfg.Preempt || s.ckptInFlight > 0 {
+		return
+	}
+	// Victim order: lowest priority first, then the segment with the
+	// least elapsed work (cheapest to abandon), then highest ID.
+	var cands []*Job
+	for _, r := range s.running {
+		if r.preempting || r.Priority >= j.Priority || !s.less(j, r) {
+			continue
+		}
+		// A checkpoint frees the nodes no earlier than the victim's own
+		// completion when the drain outlasts its remaining runtime —
+		// preempting such a gang is strictly worse than waiting.
+		if r.End-s.now <= s.cfg.CheckpointCost(r) {
+			continue
+		}
+		cands = append(cands, r)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, k int) bool {
+		a, b := cands[i], cands[k]
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+		if a.segStart != b.segStart {
+			return a.segStart > b.segStart // least elapsed first
+		}
+		return a.ID > b.ID
+	})
+	used := s.cfg.Cluster.usedCopy()
+	var victims []*Job
+	admitted := false
+	for _, v := range cands {
+		for _, nr := range v.Alloc.Ranges {
+			for i := nr.First; i < nr.First+nr.Count; i++ {
+				used[i] = false
+			}
+		}
+		victims = append(victims, v)
+		if s.cfg.Cluster.canPlace(used, j.Nodes, j.memNeed, s.cfg.Placement) {
+			admitted = true
+			break
+		}
+	}
+	if !admitted {
+		return // even suspending every eligible gang would not admit j
+	}
+	for _, v := range victims {
+		s.beginCheckpoint(v)
+	}
+}
+
+// beginCheckpoint banks the victim's progress, rewrites its completion
+// event to the end of its checkpoint drain, and marks it preempting;
+// complete() re-enqueues it when the drain event fires.
+func (s *Scheduler) beginCheckpoint(v *Job) {
+	elapsed := s.now - v.segStart - v.segRestore
+	if elapsed < 0 {
+		elapsed = 0 // preempted mid-restore: the reload is wasted work
+	}
+	done := time.Duration(float64(elapsed) / v.segFactor)
+	if done > v.workLeft {
+		done = v.workLeft
+	}
+	v.workLeft -= done
+	v.doneWork += done
+	cost := s.cfg.CheckpointCost(v)
+	if cost < 0 {
+		cost = 0
+	}
+	v.overhead += cost
+	v.preempting = true
+	v.End = s.now + cost
+	for i, r := range s.running {
+		if r == v {
+			heap.Fix(&s.running, i)
+			break
+		}
+	}
+	s.ckptInFlight++
+	s.preemptEvents++
+}
+
+// requeuePreempted finishes a checkpoint drain: captures the workload
+// snapshot (when the executor can), prices the future restore, and puts
+// the job back in the queue with its progress banked.
+func (s *Scheduler) requeuePreempted(j *Job) {
+	s.ckptInFlight--
+	j.preempting = false
+	j.preempts++
+	if ck, ok := s.cfg.Execute.(Checkpointer); ok {
+		frac := 1 - float64(j.workLeft)/float64(j.workTotal)
+		done := int(frac * float64(j.steps))
+		if prev := j.snapshot; prev != nil && done < prev.Steps {
+			done = prev.Steps // never rewind a captured image
+		}
+		if done > j.steps {
+			done = j.steps
+		}
+		snap, err := ck.Checkpoint(j, j.snapshot, done)
+		if err != nil {
+			snap = nil // image lost: resume restarts from scratch
+		}
+		j.snapshot = snap
+	}
+	j.restoreCost = s.cfg.RestoreCost(j)
+	if j.restoreCost < 0 {
+		j.restoreCost = 0
+	}
+	j.State = Queued
+	s.pending.push(j)
+}

@@ -6,21 +6,13 @@ import (
 	"time"
 )
 
-// queueLess is the queue discipline: priority descending, then resolved
-// arrival time, then submission order.
-func queueLess(a, b *Job) bool {
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
-	}
-	if a.arrive != b.arrive {
-		return a.arrive < b.arrive
-	}
-	return a.ID < b.ID
-}
-
 // queue holds pending jobs. It is a lazily sorted slice rather than a
 // heap because every scheduling pass scans the whole eligible prefix in
-// order (FIFO head-of-line, backfill candidates), not just the top.
+// order (FIFO head-of-line, backfill candidates), not just the top. The
+// discipline comparator is supplied by the scheduler (fair-share
+// reorders by decayed usage); every comparator must end on the
+// submit-time-then-job-ID tie-break so equal-priority jobs keep a
+// stable, replay-deterministic order.
 type queue struct {
 	jobs  []*Job
 	dirty bool
@@ -31,11 +23,14 @@ func (q *queue) push(j *Job) {
 	q.dirty = true
 }
 
-// ordered returns the pending jobs in queue order; the slice is owned
-// by the queue and valid until the next push/remove.
-func (q *queue) ordered() []*Job {
+// ordered returns the pending jobs sorted by less; the slice is owned
+// by the queue and valid until the next push/remove. The cached order
+// is reused until the queue is marked dirty, so a caller whose
+// comparator depends on external state (fair-share usage) must set
+// dirty when that state changes.
+func (q *queue) ordered(less func(a, b *Job) bool) []*Job {
 	if q.dirty {
-		sort.SliceStable(q.jobs, func(i, k int) bool { return queueLess(q.jobs[i], q.jobs[k]) })
+		sort.SliceStable(q.jobs, func(i, k int) bool { return less(q.jobs[i], q.jobs[k]) })
 		q.dirty = false
 	}
 	return q.jobs

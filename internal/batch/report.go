@@ -2,6 +2,7 @@ package batch
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -27,6 +28,15 @@ type Report struct {
 	AvgWait, MaxWait time.Duration
 	// Backfilled counts jobs that jumped a blocked reservation.
 	Backfilled int
+	// Preempted counts jobs checkpointed off their gang at least once;
+	// PreemptEvents counts every checkpoint drain.
+	Preempted, PreemptEvents int
+	// CheckpointOverhead is the total checkpoint and restore time
+	// charged to allocations across all jobs.
+	CheckpointOverhead time.Duration
+	// UserNodeTime aggregates granted node-time per Job.User — the raw
+	// (undecayed) fair-share accounting view.
+	UserNodeTime map[string]time.Duration
 	// Failed counts jobs whose workload reported an error.
 	Failed int
 	// TrunkCrossed counts jobs whose gang spanned the stacking trunk,
@@ -43,12 +53,14 @@ type Report struct {
 // report assembles the Report from the scheduler's terminal state.
 func (s *Scheduler) report() Report {
 	r := Report{
-		Policy:       s.cfg.Policy,
-		Placement:    s.cfg.Placement,
-		Jobs:         s.finished,
-		NodeBusy:     s.cfg.Cluster.BusyTimes(),
-		Backfilled:   s.backfills,
-		AvgFreeFrags: s.cfg.Cluster.AvgFreeFrags(),
+		Policy:        s.cfg.Policy,
+		Placement:     s.cfg.Placement,
+		Jobs:          s.finished,
+		NodeBusy:      s.cfg.Cluster.BusyTimes(),
+		Backfilled:    s.backfills,
+		PreemptEvents: s.preemptEvents,
+		UserNodeTime:  make(map[string]time.Duration),
+		AvgFreeFrags:  s.cfg.Cluster.AvgFreeFrags(),
 	}
 	var waitSum time.Duration
 	for _, j := range s.finished {
@@ -68,6 +80,13 @@ func (s *Scheduler) report() Report {
 		}
 		if len(j.Alloc.Ranges) > 1 {
 			r.SplitGangs++
+		}
+		if j.preempts > 0 {
+			r.Preempted++
+		}
+		r.CheckpointOverhead += j.overhead
+		for _, seg := range j.History {
+			r.UserNodeTime[j.User] += time.Duration(seg.Alloc.Count) * (seg.End - seg.Start)
 		}
 	}
 	if n := len(s.finished); n > 0 {
@@ -115,6 +134,22 @@ func (r Report) String() string {
 		r.Backfilled, r.Failed)
 	fmt.Fprintf(&b, "  placement: %d trunk-crossing gangs, %d split gangs, %.1f avg free fragments at allocation\n",
 		r.TrunkCrossed, r.SplitGangs, r.AvgFreeFrags)
+	if r.PreemptEvents > 0 {
+		fmt.Fprintf(&b, "  preemption: %d jobs preempted (%d checkpoints), %v checkpoint/restore overhead\n",
+			r.Preempted, r.PreemptEvents, RoundDuration(r.CheckpointOverhead))
+	}
+	if r.Policy == FairShare && len(r.UserNodeTime) > 0 {
+		users := make([]string, 0, len(r.UserNodeTime))
+		for u := range r.UserNodeTime {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		b.WriteString("  fair-share:")
+		for _, u := range users {
+			fmt.Fprintf(&b, " %s=%v", u, RoundDuration(r.UserNodeTime[u]))
+		}
+		b.WriteByte('\n')
+	}
 	const width = 40
 	for i, u := range r.NodeUtilization() {
 		filled := int(u*width + 0.5)

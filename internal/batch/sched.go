@@ -22,6 +22,19 @@ const (
 	// backfilled job overruns its estimate (exactly the real-world
 	// failure mode).
 	Backfill
+	// Conservative is conservative backfilling: every queued job gets a
+	// reservation against a capacity profile of running jobs and
+	// earlier reservations, not just the blocked head. A job may start
+	// out of order only if its reserved slot begins now, so no earlier
+	// job's reservation is ever pushed back by a backfill. Reservations
+	// are re-planned on every scheduling event (see conservative.go for
+	// exactly when the first promise is a hard start-time bound).
+	Conservative
+	// FairShare is EASY backfilling over a fair-share queue order: each
+	// user's historical usage (node-seconds, exponentially decayed with
+	// Config.FairShareHalfLife) sorts the queue ascending, so
+	// light-usage users jump heavy ones regardless of submission order.
+	FairShare
 )
 
 func (p Policy) String() string {
@@ -29,21 +42,33 @@ func (p Policy) String() string {
 	case FIFO:
 		return "fifo"
 	case Backfill:
-		return "backfill"
+		return "easy"
+	case Conservative:
+		return "conservative"
+	case FairShare:
+		return "fairshare"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
-// ParsePolicy maps a CLI string to a Policy.
+// ParsePolicy maps a CLI string to a Policy. "backfill" is accepted as
+// a legacy alias for "easy".
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "fifo":
 		return FIFO, nil
-	case "backfill":
+	case "easy", "backfill":
 		return Backfill, nil
+	case "conservative":
+		return Conservative, nil
+	case "fairshare":
+		return FairShare, nil
 	}
-	return 0, fmt.Errorf("batch: unknown policy %q (want fifo or backfill)", s)
+	return 0, fmt.Errorf("batch: unknown policy %q (want fifo, easy, conservative, or fairshare)", s)
 }
+
+// Policies lists every queue discipline, in comparison-report order.
+func Policies() []Policy { return []Policy{FIFO, Backfill, Conservative, FairShare} }
 
 // Executor runs a job's workload on its allocated gang. Implementations
 // do real (wall-clock) work; the job's virtual runtime still comes from
@@ -59,7 +84,8 @@ type Executor interface {
 type Config struct {
 	// Cluster is the machine to schedule onto. Required.
 	Cluster *Cluster
-	// Policy selects FIFO or Backfill.
+	// Policy selects the queue discipline: FIFO, Backfill (EASY),
+	// Conservative, or FairShare.
 	Policy Policy
 	// Placement selects the gang-placement engine; the zero value is
 	// the topology-aware engine (PlaceTopo), PlaceFirstFit restores the
@@ -77,8 +103,27 @@ type Config struct {
 	// spans the stacking trunk (Section 4.3's contention knee seen from
 	// the scheduler's seat). Values <= 0 or == 1 disable it.
 	TrunkSlowdown float64
+	// Preempt enables priority preemption: a blocked job may suspend
+	// running jobs of strictly lower priority through the
+	// checkpoint/restart protocol (see preempt.go). The victims drain a
+	// checkpoint (CheckpointCost), re-enter the queue with their saved
+	// progress, and pay RestoreCost when they are dispatched again.
+	Preempt bool
+	// CheckpointCost prices draining one job's per-node workload image
+	// at preemption; nil uses DefaultCheckpointCost over the paper's
+	// hardware model (AGP readback plus a Gigabit write to the
+	// checkpoint store).
+	CheckpointCost func(*Job) time.Duration
+	// RestoreCost prices reloading a checkpointed image at the next
+	// dispatch; nil uses DefaultRestoreCost.
+	RestoreCost func(*Job) time.Duration
+	// FairShareHalfLife is the virtual-time half-life of per-user usage
+	// decay under the FairShare policy; <= 0 means 30 minutes.
+	FairShareHalfLife time.Duration
 	// Execute optionally runs each job's workload for real when it
-	// starts. Leave nil for pure virtual-time scheduling studies.
+	// completes. Executors that also implement Checkpointer run
+	// preempted jobs in segments with genuine state snapshots. Leave
+	// nil for pure virtual-time scheduling studies.
 	Execute Executor
 }
 
@@ -86,13 +131,17 @@ type Config struct {
 // arrivals, Run drains the queue event by event (job completions and
 // future arrivals), placing jobs per the configured policy.
 type Scheduler struct {
-	cfg       Config
-	now       time.Duration
-	pending   queue
-	running   eventHeap
-	finished  []*Job
-	nextID    int
-	backfills int
+	cfg           Config
+	now           time.Duration
+	pending       queue
+	running       eventHeap
+	finished      []*Job
+	nextID        int
+	backfills     int
+	preemptEvents int
+	ckptInFlight  int                  // victims currently draining checkpoints
+	usage         map[string]*usage    // per-user decayed accounting (fairshare.go)
+	less          func(a, b *Job) bool // jobLess, bound once (no per-pass closure)
 }
 
 // New validates cfg and returns an empty scheduler.
@@ -104,7 +153,34 @@ func New(cfg Config) *Scheduler {
 		est := NewPerfEstimator()
 		cfg.Estimate = est.Estimate
 	}
-	return &Scheduler{cfg: cfg, nextID: 1}
+	if cfg.CheckpointCost == nil {
+		cfg.CheckpointCost = DefaultCheckpointCost
+	}
+	if cfg.RestoreCost == nil {
+		cfg.RestoreCost = DefaultRestoreCost
+	}
+	s := &Scheduler{cfg: cfg, nextID: 1, usage: make(map[string]*usage)}
+	s.less = s.jobLess
+	return s
+}
+
+// jobLess is the active queue discipline: fair-share usage (FairShare
+// only), then priority descending, then submit time, then job ID — the
+// final two legs make equal-priority ordering deterministic across
+// replays.
+func (s *Scheduler) jobLess(a, b *Job) bool {
+	if s.cfg.Policy == FairShare {
+		if ua, ub := s.usageOf(a.User), s.usageOf(b.User); ua != ub {
+			return ua < ub
+		}
+	}
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.arrive != b.arrive {
+		return a.arrive < b.arrive
+	}
+	return a.ID < b.ID
 }
 
 // Now returns the current virtual time.
@@ -155,8 +231,15 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.State = Queued
 	j.Start, j.End = 0, 0
 	j.Alloc = Allocation{}
+	j.History = nil
 	j.Detail, j.Err = "", nil
 	j.shadow, j.backfilled = 0, false
+	j.workTotal, j.workLeft, j.doneWork = 0, 0, 0
+	j.restoreCost, j.overhead = 0, 0
+	j.preempts, j.preempting = 0, false
+	j.snapshot = nil
+	j.segStart, j.segRestore, j.segFactor = 0, 0, 1
+	j.promise, j.promised = 0, false
 	s.pending.push(j)
 	return nil
 }
@@ -189,38 +272,56 @@ func (s *Scheduler) Run() Report {
 // schedulePass starts every job the policy allows at the current
 // instant.
 func (s *Scheduler) schedulePass() {
+	// Under FairShare the cached queue order stays valid across pure
+	// clock advance (every account decays by the same factor, see
+	// usageOf); chargeUsage and push mark the queue dirty whenever the
+	// order can actually change, so no re-sort is forced here.
 	for {
-		started := s.passOnce()
+		var started bool
+		if s.cfg.Policy == Conservative {
+			started = s.conservativePass()
+		} else {
+			started = s.passOnce()
+		}
 		if !started {
 			return
 		}
 	}
 }
 
-// passOnce scans the queue once; it reports whether any job started (a
-// start changes the free map, so the caller rescans).
+// passOnce scans the queue once under FIFO, EASY, or fair-share; it
+// reports whether any job started (a start changes the free map, so the
+// caller rescans).
 func (s *Scheduler) passOnce() bool {
 	var blocked *Job // first eligible job that did not fit
 	var shadow time.Duration
-	for _, j := range s.pending.ordered() {
+	for _, j := range s.pending.ordered(s.less) {
 		if j.arrive > s.now {
 			continue // not yet arrived
 		}
 		if blocked == nil {
-			if s.tryStart(j, false, 0) {
+			if s.tryStart(j, false, 0, false) {
 				return true
 			}
+			// The head is blocked: preemption (if enabled) begins
+			// checkpointing lower-priority gangs before the shadow is
+			// computed, so the reservation reflects the drained nodes.
+			s.preemptFor(j)
 			if s.cfg.Policy == FIFO {
 				return false // head-of-line blocking
 			}
 			blocked = j
 			shadow = s.shadowStart(j.Nodes, j.memNeed)
+			if !blocked.promised {
+				blocked.promise, blocked.promised = shadow, true
+			}
 			continue
 		}
-		// Backfill: only jobs whose estimate drains before the head's
-		// reservation may jump it (tryStart re-checks with the
-		// allocation-dependent trunk stretch applied).
-		if s.now+j.est <= shadow && s.tryStart(j, true, shadow) {
+		// Backfill: only jobs whose remaining estimate (plus a pending
+		// restore charge) drains before the head's reservation may jump
+		// it (tryStart re-checks with the allocation-dependent trunk
+		// stretch applied).
+		if s.now+j.restoreCost+j.estLeft() <= shadow && s.tryStart(j, true, shadow, true) {
 			return true
 		}
 	}
@@ -228,23 +329,24 @@ func (s *Scheduler) passOnce() bool {
 }
 
 // tryStart attempts a gang placement for j at the current instant and,
-// on success, fixes its runtime and pushes its completion event. The
-// placement engine ranks every candidate node set; the first (best) one
-// that survives the constraints wins. For backfill starts, shadow is
-// the blocked head's reservation: the scheduler-known trunk stretch of
-// the candidate must still drain before it, else the *next* candidate
-// is tried — a start only fails when no placement works (only
-// unknowable overruns, the Actual hook, may breach the EASY guarantee).
-// Under PlaceFirstFit a single candidate is offered, reproducing the
-// legacy take-it-or-leave-it behavior.
-func (s *Scheduler) tryStart(j *Job, backfilled bool, shadow time.Duration) bool {
+// on success, fixes its segment runtime and pushes its completion
+// event. The placement engine ranks every candidate node set; the first
+// (best) one that survives the constraints wins. For backfill starts,
+// limit is the blocked head's reservation: the scheduler-known trunk
+// stretch of the candidate (plus any pending restore charge) must still
+// drain before it, else the *next* candidate is tried — a start only
+// fails when no placement works (only unknowable overruns, the Actual
+// hook, may breach the EASY guarantee). Under PlaceFirstFit a single
+// candidate is offered, reproducing the legacy take-it-or-leave-it
+// behavior.
+func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limited bool) bool {
 	if s.cfg.Cluster.FreeNodes() < j.Nodes {
 		return false // cheap precheck before candidate enumeration
 	}
 	var alloc Allocation
 	placed := false
 	for _, cand := range s.cfg.Cluster.candidates(j.Nodes, j.memNeed, s.cfg.Placement) {
-		if backfilled && s.now+s.stretched(j.est, cand.crosses) > shadow {
+		if limited && s.now+j.restoreCost+s.stretched(j.estLeft(), cand.crosses) > limit {
 			continue
 		}
 		alloc = s.cfg.Cluster.commit(cand)
@@ -254,40 +356,69 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, shadow time.Duration) bool
 	if !placed {
 		return false
 	}
-	stretch := func(d time.Duration) time.Duration {
-		return s.stretched(d, alloc.CrossesTrunk)
-	}
-	if backfilled {
-		j.shadow = shadow
+	if backfilled && limited {
+		j.shadow = limit
 	}
 	s.pending.remove(j)
 	j.Alloc = alloc
 	j.State = Running
-	j.Start = s.now
 	j.backfilled = backfilled
 	if backfilled {
 		s.backfills++
 	}
-	actual := j.est
-	if s.cfg.Actual != nil {
-		actual = s.cfg.Actual(j, j.est)
+	if len(j.History) == 0 {
+		// First dispatch: fix the true total work. The Actual hook maps
+		// the estimate to the real runtime (imperfect estimates); the
+		// scheduler never reads workTotal for decisions, only workLeft
+		// progress already banked.
+		j.Start = s.now
+		total := j.est
+		if s.cfg.Actual != nil {
+			total = s.cfg.Actual(j, j.est)
+		}
+		if total < time.Millisecond {
+			total = time.Millisecond
+		}
+		j.workTotal, j.workLeft = total, total
 	}
-	actual = stretch(actual)
-	if actual < time.Millisecond {
-		actual = time.Millisecond
+	factor := 1.0
+	if alloc.CrossesTrunk && s.cfg.TrunkSlowdown > 1 {
+		factor = s.cfg.TrunkSlowdown
 	}
-	j.End = s.now + actual
-	if s.cfg.Execute != nil {
-		j.Detail, j.Err = s.cfg.Execute.Execute(j, alloc)
+	dur := j.restoreCost + time.Duration(float64(j.workLeft)*factor)
+	if dur < time.Millisecond {
+		dur = time.Millisecond
 	}
+	j.segStart, j.segRestore, j.segFactor = s.now, j.restoreCost, factor
+	j.overhead += j.restoreCost
+	j.restoreCost = 0
+	j.End = s.now + dur
 	heap.Push(&s.running, j)
 	return true
 }
 
-// complete finishes a job whose end event fired: frees its gang,
-// credits busy accounting, and records the terminal state.
+// complete handles a job whose end event fired: frees its gang, credits
+// busy and fair-share accounting, and either records the terminal state
+// or — when the event was a checkpoint drain — re-enqueues the job with
+// its saved progress.
 func (s *Scheduler) complete(j *Job) {
-	s.cfg.Cluster.Release(j.Alloc, j.Runtime())
+	held := s.now - j.segStart
+	j.History = append(j.History, Segment{Alloc: j.Alloc, Start: j.segStart, End: s.now, Preempted: j.preempting})
+	s.cfg.Cluster.Release(j.Alloc, held)
+	s.chargeUsage(j.User, time.Duration(j.Alloc.Count)*held)
+	if j.preempting {
+		s.requeuePreempted(j)
+		return
+	}
+	j.workLeft, j.doneWork = 0, j.est
+	if s.cfg.Execute != nil {
+		if ck, ok := s.cfg.Execute.(Checkpointer); ok && j.snapshot != nil {
+			j.Detail, j.Err = ck.Resume(j, j.snapshot)
+		} else {
+			j.Detail, j.Err = s.cfg.Execute.Execute(j, j.Alloc)
+		}
+		j.snapshot = nil
+	}
 	if j.Err != nil {
 		j.State = Failed
 	} else {
@@ -318,7 +449,12 @@ func (s *Scheduler) shadowStart(k int, memNeed int64) time.Duration {
 	}
 	ends := make([]*Job, len(s.running))
 	copy(ends, s.running)
-	sort.Slice(ends, func(i, j int) bool { return ends[i].End < ends[j].End })
+	sort.Slice(ends, func(i, j int) bool {
+		if ends[i].End != ends[j].End {
+			return ends[i].End < ends[j].End
+		}
+		return ends[i].ID < ends[j].ID
+	})
 	for _, r := range ends {
 		for _, nr := range r.Alloc.Ranges {
 			for i := nr.First; i < nr.First+nr.Count; i++ {

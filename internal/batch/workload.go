@@ -96,44 +96,137 @@ func (e *PerfEstimator) Estimate(j *Job) time.Duration {
 // SimExecutor runs each job's workload for real on the functional
 // simulators, mapping the gang's Arrange3D grid onto the workload's
 // domain decomposition. Use small problems: this does the actual
-// compute.
+// compute. It implements Checkpointer, so preempted jobs run in
+// segments with genuine state snapshots: the live LBM simulator, the
+// gathered heat field, or the partial CG iterate (resumed as a
+// residual-correction solve — the Krylov space is lost across a
+// restart, exactly as with a real checkpointed solver).
 type SimExecutor struct {
 	// TracerParticles releases a pollutant cloud through each LBM job's
 	// developed flow (the Section 5 dispersion post-pass); 0 disables.
 	TracerParticles int
 }
 
-// Execute implements Executor.
+// Execute implements Executor: the whole workload in one segment.
 func (x SimExecutor) Execute(j *Job, a Allocation) (string, error) {
 	switch j.Kind {
 	case KindLBM:
-		return x.runLBM(j, a)
+		sim, err := buildLBMSim(j)
+		if err != nil {
+			return "", err
+		}
+		sim.Run(j.steps)
+		return x.lbmFinish(j, sim)
 	case KindCG:
-		return runCG(j, a)
+		got, stats, err := cgAdvance(j, nil, j.steps)
+		if err != nil {
+			return "", err
+		}
+		return cgFinish(j, got, stats, j.steps)
 	case KindPDE:
-		return runPDE(j, a)
+		return pdeFinish(j, pdeAdvance(j, nil, j.steps))
 	}
 	return "", fmt.Errorf("batch: no workload adapter for %v", j.Kind)
 }
 
-// runLBM executes a wind-tunnel flow over the gang: inlet on x-, open
-// outflow on x+, periodic transverse faces, then (optionally) traces a
-// pollutant cloud through the developed flow. The gang's ranks map onto
-// the Arrange3D grid in node order (Allocation.Port), so a
-// non-contiguous gang simply sees some neighboring ranks on
-// non-adjacent switch ports.
-func (x SimExecutor) runLBM(j *Job, a Allocation) (string, error) {
-	g := a.Grid
+// Checkpoint implements Checkpointer: it advances j's workload to done
+// steps — resuming from prev when the job was checkpointed before — and
+// captures a restartable image sized by the job's per-node footprint.
+func (x SimExecutor) Checkpoint(j *Job, prev *Snapshot, done int) (*Snapshot, error) {
+	prevSteps := 0
+	if prev != nil {
+		prevSteps = prev.Steps
+	}
+	delta := done - prevSteps
+	if delta < 0 {
+		delta = 0
+		done = prevSteps
+	}
+	snap := &Snapshot{Steps: done, Bytes: memoryNeed(j.Kind, j.problem, j.Nodes)}
+	switch j.Kind {
+	case KindLBM:
+		var sim *cluster.Sim
+		if prev != nil {
+			sim = prev.state.(*cluster.Sim)
+		} else {
+			var err error
+			if sim, err = buildLBMSim(j); err != nil {
+				return nil, err
+			}
+		}
+		sim.Run(delta)
+		snap.state = sim
+	case KindCG:
+		var x0 []float32
+		if prev != nil {
+			x0 = prev.state.([]float32)
+		}
+		got, _, err := cgAdvance(j, x0, delta)
+		if err != nil {
+			return nil, err
+		}
+		snap.state = got
+	case KindPDE:
+		var field []float32
+		if prev != nil {
+			field = prev.state.([]float32)
+		}
+		snap.state = pdeAdvance(j, field, delta)
+	default:
+		return nil, fmt.Errorf("batch: no workload adapter for %v", j.Kind)
+	}
+	return snap, nil
+}
+
+// Resume implements Checkpointer: it runs the remaining steps from the
+// snapshot and produces the job's result summary.
+func (x SimExecutor) Resume(j *Job, snap *Snapshot) (string, error) {
+	left := j.steps - snap.Steps
+	if left < 0 {
+		left = 0
+	}
+	switch j.Kind {
+	case KindLBM:
+		sim := snap.state.(*cluster.Sim)
+		sim.Run(left)
+		return x.lbmFinish(j, sim)
+	case KindCG:
+		got, stats, err := cgAdvance(j, snap.state.([]float32), left)
+		if err != nil {
+			return "", err
+		}
+		return cgFinish(j, got, stats, snap.Steps+stats.Iterations)
+	case KindPDE:
+		return pdeFinish(j, pdeAdvance(j, snap.state.([]float32), left))
+	}
+	return "", fmt.Errorf("batch: no workload adapter for %v", j.Kind)
+}
+
+// lbmGlobal returns the global extents of j's wind tunnel on its gang
+// grid (a pure function of the gang size, so it is identical across a
+// preempted job's dispatches).
+func lbmGlobal(j *Job) (sched.NodeGrid, [3]int) {
+	g := sched.Arrange3D(j.Nodes)
 	prob := j.problem
-	global := [3]int{prob[0] * g.PX, prob[1] * g.PY, prob[2] * g.PZ}
+	return g, [3]int{prob[0] * g.PX, prob[1] * g.PY, prob[2] * g.PZ}
+}
+
+// buildLBMSim assembles j's wind-tunnel flow: inlet on x-, open outflow
+// on x+, periodic transverse faces. The gang's ranks map onto the
+// Arrange3D grid in node order (Allocation.Port), so a non-contiguous
+// gang simply sees some neighboring ranks on non-adjacent switch ports.
+func buildLBMSim(j *Job) (*cluster.Sim, error) {
+	g, global := lbmGlobal(j)
 	cfg := cluster.Config{Global: global, Grid: g, Tau: 0.7}
 	cfg.Faces[lbm.FaceXNeg] = lbm.FaceSpec{Type: lbm.Inlet, U: vecmath.Vec3{0.04, 0, 0}}
 	cfg.Faces[lbm.FaceXPos] = lbm.FaceSpec{Type: lbm.Outflow}
-	sim, err := cluster.New(cfg)
-	if err != nil {
-		return "", err
-	}
-	sim.Run(j.steps)
+	return cluster.New(cfg)
+}
+
+// lbmFinish validates the completed flow and (optionally) traces a
+// pollutant cloud through it.
+func (x SimExecutor) lbmFinish(j *Job, sim *cluster.Sim) (string, error) {
+	g, global := lbmGlobal(j)
 	mass := sim.TotalMass()
 	if math.IsNaN(mass) || mass <= 0 {
 		return "", fmt.Errorf("batch: LBM diverged, total mass %v", mass)
@@ -154,36 +247,64 @@ func (x SimExecutor) runLBM(j *Job, a Allocation) (string, error) {
 	return detail, nil
 }
 
-// runCG solves a manufactured Poisson system with the Figure 15
-// distributed CG, one rank per allocated node.
-func runCG(j *Job, a Allocation) (string, error) {
-	n := j.problem[0]
-	A := sparse.Poisson2D(n)
-	ranks := a.Count
-	if A.Rows < ranks {
-		return "", fmt.Errorf("batch: %d unknowns cannot split over %d ranks", A.Rows, ranks)
-	}
-	want := make([]float32, A.Rows)
+// cgTarget returns the manufactured solution of j's Poisson system.
+func cgTarget(rows int) []float32 {
+	want := make([]float32, rows)
 	for i := range want {
 		want[i] = float32(i%7) * 0.25
 	}
-	rhs := A.MulVec(want)
+	return want
+}
+
+// cgAdvance runs iters iterations of the Figure 15 distributed CG, one
+// rank per gang node, starting from iterate x0 (nil = zero). A restart
+// solves the residual-correction system A e = b - A x0 and returns
+// x0 + e: mathematically a true warm restart, though the Krylov space
+// built before the checkpoint is gone.
+func cgAdvance(j *Job, x0 []float32, iters int) ([]float32, sparse.SolveStats, error) {
+	n := j.problem[0]
+	A := sparse.Poisson2D(n)
+	ranks := j.Nodes
+	if A.Rows < ranks {
+		return nil, sparse.SolveStats{}, fmt.Errorf("batch: %d unknowns cannot split over %d ranks", A.Rows, ranks)
+	}
+	rhs := A.MulVec(cgTarget(A.Rows))
+	target := rhs
+	if x0 != nil {
+		ax := A.MulVec(x0)
+		target = make([]float32, len(rhs))
+		for i := range rhs {
+			target[i] = rhs[i] - ax[i]
+		}
+	}
 	off, sz := sparse.RowPartition(A.Rows, ranks)
-	got := make([]float32, A.Rows)
+	corr := make([]float32, A.Rows)
 	stats := make([]sparse.SolveStats, ranks)
 	world := mpi.NewWorld(ranks)
 	world.Run(func(c *mpi.Comm) {
 		r := c.Rank()
 		d := sparse.NewDistMatrix(A, r, ranks)
 		d.Setup(c)
-		local, st := sparse.DistCG(c, d, rhs[off[r]:off[r]+sz[r]], 1e-6, j.steps)
+		local, st := sparse.DistCG(c, d, target[off[r]:off[r]+sz[r]], 1e-6, iters)
 		stats[r] = st
-		copy(got[off[r]:], local)
+		copy(corr[off[r]:], local)
 	})
-	if !stats[0].Converged {
-		return "", fmt.Errorf("batch: CG stopped at %d iterations, residual %.2e",
-			stats[0].Iterations, stats[0].Residual)
+	if x0 != nil {
+		for i := range corr {
+			corr[i] += x0[i]
+		}
 	}
+	return corr, stats[0], nil
+}
+
+// cgFinish validates the final iterate against the manufactured
+// solution.
+func cgFinish(j *Job, got []float32, stats sparse.SolveStats, iters int) (string, error) {
+	if !stats.Converged {
+		return "", fmt.Errorf("batch: CG stopped at %d iterations, residual %.2e",
+			iters, stats.Residual)
+	}
+	want := cgTarget(len(got))
 	var maxErr float64
 	for i := range got {
 		if d := math.Abs(float64(got[i] - want[i])); d > maxErr {
@@ -191,21 +312,38 @@ func runCG(j *Job, a Allocation) (string, error) {
 		}
 	}
 	return fmt.Sprintf("cg %d unknowns on %d ranks: %d iters, residual %.1e, max err %.2e",
-		A.Rows, ranks, stats[0].Iterations, stats[0].Residual, maxErr), nil
+		len(got), j.Nodes, iters, stats.Residual, maxErr), nil
 }
 
-// runPDE diffuses a hot block with the slab-parallel heat solver, one
-// z-slab of Problem[2] planes per allocated node, and checks that the
-// periodic domain conserves total heat.
-func runPDE(j *Job, a Allocation) (string, error) {
-	nx, ny := j.problem[0], j.problem[1]
-	nz := j.problem[2] * a.Count
-	hot := func(x, y, z int) float32 {
+// pdeHot returns j's initial condition: a hot block in the domain
+// center (a pure function, so restarts see the same conserved target).
+func pdeHot(nx, ny, nz int) func(x, y, z int) float32 {
+	return func(x, y, z int) float32 {
 		if x >= nx/4 && x < 3*nx/4 && y >= ny/4 && y < 3*ny/4 && z >= nz/4 && z < 3*nz/4 {
 			return 1
 		}
 		return 0
 	}
+}
+
+// pdeAdvance runs steps of the slab-parallel heat solver, one z-slab of
+// Problem[2] planes per gang node, starting from the gathered field
+// (nil = the hot-block initial condition) and returning the new field.
+func pdeAdvance(j *Job, field []float32, steps int) []float32 {
+	nx, ny := j.problem[0], j.problem[1]
+	nz := j.problem[2] * j.Nodes
+	init := pdeHot(nx, ny, nz)
+	if field != nil {
+		init = func(x, y, z int) float32 { return field[(z*ny+y)*nx+x] }
+	}
+	return pde.ParallelHeat3D(nx, ny, nz, 1.0/6.0, j.Nodes, steps, init)
+}
+
+// pdeFinish checks that the periodic domain conserved total heat.
+func pdeFinish(j *Job, field []float32) (string, error) {
+	nx, ny := j.problem[0], j.problem[1]
+	nz := j.problem[2] * j.Nodes
+	hot := pdeHot(nx, ny, nz)
 	var want float64
 	for z := 0; z < nz; z++ {
 		for y := 0; y < ny; y++ {
@@ -214,7 +352,6 @@ func runPDE(j *Job, a Allocation) (string, error) {
 			}
 		}
 	}
-	field := pde.ParallelHeat3D(nx, ny, nz, 1.0/6.0, a.Count, j.steps, hot)
 	var got float64
 	for _, v := range field {
 		got += float64(v)
@@ -223,7 +360,7 @@ func runPDE(j *Job, a Allocation) (string, error) {
 		return "", fmt.Errorf("batch: heat not conserved: %.4f -> %.4f", want, got)
 	}
 	return fmt.Sprintf("pde heat %dx%dx%d on %d slabs: %d steps, heat drift %.1e",
-		nx, ny, nz, a.Count, j.steps, math.Abs(got-want)), nil
+		nx, ny, nz, j.Nodes, j.steps, math.Abs(got-want)), nil
 }
 
 // SyntheticMix generates a deterministic skewed batch of count jobs for
@@ -263,11 +400,14 @@ func SyntheticMix(seed int64, count, maxNodes int) []*Job {
 		default:
 			nodes = clamp(maxNodes/2 + 1 + intn(maxNodes/2))
 		}
+		// User rotates on the index, not the rng stream, so adding
+		// fair-share attribution left every seeded mix unchanged.
 		j := &Job{
 			Name:     fmt.Sprintf("%s-%04d", kind, i),
 			Kind:     kind,
 			Nodes:    nodes,
 			Priority: rng.Intn(5),
+			User:     fmt.Sprintf("u%d", i%4),
 		}
 		switch kind {
 		case KindCG:
