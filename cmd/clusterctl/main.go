@@ -12,9 +12,14 @@
 //	clusterctl -nodes 32 -jobs 200 -policy both -seed 42
 //	clusterctl -policy all -preempt            # compare all four policies
 //	clusterctl -trace examples/traces/sample.swf -policy fairshare
+//	clusterctl -policy all -quantum 300s       # time-sliced gang scheduling
 //	clusterctl -placement both                 # compare placement engines too
 //	clusterctl -execute -jobs 8                # actually run the workloads
 //	clusterctl -bench-json BENCH_batch.json    # emit the CI perf snapshot
+//
+// With -quantum the comparison table gains a run-to-completion EASY
+// baseline row and a short-job wait column (jobs with estimates at or
+// below the mix median), the population time-slicing exists to help.
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	trunk := flag.Float64("trunk-slowdown", 1.1, "runtime multiplier for gangs spanning the stacking trunk")
 	preempt := flag.Bool("preempt", false, "enable priority preemption with checkpoint/restart")
+	quantum := flag.Duration("quantum", 0, "time-slice quantum for gang scheduling (0 disables; e.g. 300s)")
 	tracePath := flag.String("trace", "", "replay an SWF-style workload trace instead of the synthetic mix")
 	execute := flag.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
 	benchJSON := flag.String("bench-json", "", "write a scheduler throughput/makespan snapshot to this file and exit")
@@ -103,6 +109,7 @@ func main() {
 		shrink(mix, *nodes)
 	}
 	var results []result
+	rtcEasy := make(map[batch.Placement]batch.Report) // run-to-completion baseline under -quantum
 	for _, plc := range placements {
 		for _, pol := range policies {
 			cfg := batch.Config{
@@ -112,6 +119,7 @@ func main() {
 				Actual:        actual,
 				TrunkSlowdown: *trunk,
 				Preempt:       *preempt,
+				Quantum:       *quantum,
 			}
 			if *execute {
 				cfg.Execute = batch.SimExecutor{TracerParticles: 1000}
@@ -130,18 +138,52 @@ func main() {
 			fmt.Println()
 			results = append(results, result{placement: plc, policy: pol, rep: rep})
 		}
+		if *quantum > 0 {
+			cfg := batch.Config{
+				Cluster:       batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
+				Policy:        batch.Backfill,
+				Placement:     plc,
+				Actual:        actual,
+				TrunkSlowdown: *trunk,
+				Preempt:       *preempt,
+			}
+			s := batch.New(cfg)
+			for _, j := range mix {
+				if err := s.Submit(j); err != nil {
+					log.Fatal(err)
+				}
+			}
+			rtcEasy[plc] = s.Run()
+		}
 	}
 
-	if len(policies) > 1 {
+	if len(policies) > 1 || *quantum > 0 {
+		row := func(label string, f, r batch.Report) {
+			fmt.Printf("  %-13s makespan %8v (%s), utilization %5.1f%%, avg wait %8v, short wait %8v, %d backfilled, %d preempted, %d sliced\n",
+				label, batch.RoundDuration(r.Makespan), gain(f.Makespan, r.Makespan),
+				100*r.Utilization, batch.RoundDuration(r.AvgWait),
+				batch.RoundDuration(r.ShortWait), r.Backfilled, r.Preempted, r.Sliced)
+		}
 		for _, plc := range placements {
 			f := find(results, plc, policies[0])
-			fmt.Printf("policy comparison (placement %s, baseline %s):\n", plc, policies[0])
+			fmt.Printf("policy comparison (placement %s, baseline %s; short = est <= %v):\n",
+				plc, policies[0], batch.RoundDuration(f.ShortCut))
 			for _, pol := range policies {
-				r := find(results, plc, pol)
-				fmt.Printf("  %-13s makespan %8v (%s), utilization %5.1f%%, avg wait %8v, max wait %8v, %d backfilled, %d preempted\n",
-					pol, batch.RoundDuration(r.Makespan), gain(f.Makespan, r.Makespan),
-					100*r.Utilization, batch.RoundDuration(r.AvgWait), batch.RoundDuration(r.MaxWait),
-					r.Backfilled, r.Preempted)
+				row(pol.String(), f, find(results, plc, pol))
+			}
+			if *quantum > 0 {
+				base := rtcEasy[plc]
+				row("easy/rtc", f, base)
+				for _, pol := range policies {
+					if pol != batch.Backfill {
+						continue
+					}
+					r := find(results, plc, pol)
+					fmt.Printf("  timeslice quantum %v vs run-to-completion easy: short-job avg wait %v -> %v (%s)\n",
+						*quantum, batch.RoundDuration(base.ShortWait),
+						batch.RoundDuration(r.ShortWait),
+						gain(base.ShortWait, r.ShortWait))
+				}
 			}
 		}
 	}
@@ -285,6 +327,9 @@ func printJobs(rep batch.Report) {
 		}
 		if j.Preemptions() > 0 {
 			mark += fmt.Sprintf(" *pre%d", j.Preemptions())
+		}
+		if j.TimeSlices() > 0 {
+			mark += fmt.Sprintf(" *ts%d", j.TimeSlices())
 		}
 		if !j.Alloc.Contiguous() {
 			mark += " *split"

@@ -7,11 +7,15 @@
 // the paper: a Cluster of nodes (GPU count, memory, interconnect group
 // derived from the netsim switch topology), a Job spec (gang size,
 // estimated runtime, priority, workload kind), a priority queue with
-// FIFO and EASY-backfill policies, and a job lifecycle driven by a
-// virtual-time event loop. Workload adapters execute jobs on the
-// functional simulators (cluster LBM + tracer, distributed CG, parallel
-// heat stencil) and derive runtime estimates from the calibrated
-// perfmodel hardware model.
+// FIFO, EASY-backfill, conservative-backfill, and fair-share policies,
+// and a job lifecycle driven by a virtual-time event loop. Gangs can be
+// suspended mid-run through a checkpoint/restart protocol — on priority
+// (Config.Preempt) or round-robin on a quantum boundary
+// (Config.Quantum, time-sliced gang scheduling) — with concurrent
+// checkpoint drains contending for the shared store link. Workload
+// adapters execute jobs on the functional simulators (cluster LBM +
+// tracer, distributed CG, parallel heat stencil) and derive runtime
+// estimates from the calibrated perfmodel hardware model.
 //
 // All scheduling time is virtual (time.Duration since scheduler start);
 // nothing sleeps. Only workload execution — when an Executor is
@@ -142,13 +146,12 @@ type Job struct {
 	// Fields below are resolved by Submit from the spec — the spec
 	// itself stays caller-owned and pristine, so the same specs can be
 	// replayed against another scheduler.
-	est        time.Duration // resolved estimate
-	steps      int           // resolved Steps (>= 1)
-	problem    [3]int        // resolved Problem (per-kind default applied)
-	arrive     time.Duration // resolved arrival (Submit clamped to the clock)
-	memNeed    int64         // per-node memory footprint
-	shadow     time.Duration // head reservation at backfill time (invariant checks)
-	backfilled bool
+	est     time.Duration // resolved estimate
+	steps   int           // resolved Steps (>= 1)
+	problem [3]int        // resolved Problem (per-kind default applied)
+	arrive  time.Duration // resolved arrival (Submit clamped to the clock)
+	memNeed int64         // per-node memory footprint
+	shadow  time.Duration // head reservation at backfill time (invariant checks)
 
 	// Preemption / checkpoint-restart accounting (scheduler-owned).
 	workTotal   time.Duration // true total work, fixed at first dispatch (Actual hook)
@@ -156,14 +159,33 @@ type Job struct {
 	doneWork    time.Duration // scheduler-known completed work (estimate basis)
 	restoreCost time.Duration // reload charge pending for the next dispatch
 	overhead    time.Duration // checkpoint+restore time charged so far
-	preempts    int           // times this job was preempted
-	preempting  bool          // currently draining its checkpoint
 	snapshot    *Snapshot     // saved workload image between dispatches
+	waveFor     *Job          // victim side: the blocked job this drain is for
 	segStart    time.Duration // current segment's dispatch instant
 	segRestore  time.Duration // restore charge inside the current segment
 	segFactor   float64       // trunk stretch factor of the current segment
 	promise     time.Duration // reserved start recorded when first bypassed
+
+	// Time-slicing (scheduler-owned, see Config.Quantum). A resident
+	// gang whose remaining segment outlives the quantum carries a
+	// slice-boundary event instead of its completion event: sliceFull
+	// remembers where the segment would really end, and the event loop
+	// either extends the slice or suspends the gang at the boundary.
+	sliceFull time.Duration // true end of the current segment if never sliced
+	rrStamp   time.Duration // last slice-suspension instant (round-robin key)
+
+	// Counters and flags, grouped at the tail so they pack — queue
+	// scans walk thousands of pending jobs per pass and are
+	// cache-bound on this struct's size.
+	preempts    int32 // times this job was preempted on priority
+	slices      int32 // times this job was suspended at a quantum boundary
+	waveLeft    int32 // victims still draining on this job's behalf
+	backfilled  bool
+	preempting  bool // currently draining its checkpoint
 	promised    bool
+	wavePending bool // a preemption wave is draining on this job's behalf
+	sliceEnd    bool // the pending End event is a quantum boundary
+	slicing     bool // current checkpoint drain is a slice suspension
 }
 
 // Segment is one dispatch of a job: the gang it ran on and the interval
@@ -204,7 +226,11 @@ func (j *Job) Backfilled() bool { return j.backfilled }
 
 // Preemptions returns how many times the job was checkpointed off its
 // gang to make room for a higher-priority arrival.
-func (j *Job) Preemptions() int { return j.preempts }
+func (j *Job) Preemptions() int { return int(j.preempts) }
+
+// TimeSlices returns how many times the job was suspended at a quantum
+// boundary to share its nodes round-robin (Config.Quantum).
+func (j *Job) TimeSlices() int { return int(j.slices) }
 
 // CheckpointOverhead returns the total checkpoint and restore time the
 // scheduler charged to this job's allocations.
@@ -224,6 +250,19 @@ func (j *Job) BusyTime() time.Duration {
 		d += seg.End - seg.Start
 	}
 	return d
+}
+
+// rrKey is the round-robin leg of the queue order: the arrival for a
+// job never sliced, the last suspension instant otherwise — so a gang
+// suspended at a quantum boundary re-enters the queue behind every
+// waiter of equal rank and resumes only after each has had a turn.
+// Without a quantum rrStamp stays zero and rrKey is exactly the
+// arrival, preserving the pre-timeslice order.
+func (j *Job) rrKey() time.Duration {
+	if j.rrStamp > j.arrive {
+		return j.rrStamp
+	}
+	return j.arrive
 }
 
 // estLeft returns the scheduler-known remaining runtime estimate: the

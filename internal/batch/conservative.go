@@ -27,6 +27,12 @@ import (
 // planned; re-planning then compresses the schedule, which can shift an
 // individual job's slot in either direction even though no backfill
 // ever delays the reservations of the plan it was admitted under.
+//
+// Under time-slicing (Config.Quantum) the profile sees a running gang's
+// next yield point — its quantum boundary or drain end — rather than
+// its completion, so reservations are best-effort in the same sense as
+// under first-fit: a suspended gang re-enters the queue with its full
+// remaining estimate and is re-planned like any other pending job.
 
 // profile is a step function of planned busy-node counts: busy[i] holds
 // over [times[i], times[i+1]), and the last entry extends to infinity.

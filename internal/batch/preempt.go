@@ -1,7 +1,6 @@
 package batch
 
 import (
-	"container/heap"
 	"sort"
 	"time"
 
@@ -85,25 +84,34 @@ func DefaultRestoreCost(j *Job) time.Duration {
 // user's high-priority job from evicting a light user's gang the
 // discipline just dispatched (which would otherwise thrash:
 // zero-progress checkpoint/restore cycles). It is a no-op unless
-// Config.Preempt is set, and at most one checkpoint wave is in flight
-// at a time (a second blocked job waits for the first drain to settle
-// before triggering another — keeping preemption decisions serialized
-// and deterministic).
+// Config.Preempt is set. Waves overlap: a second blocked job may
+// trigger its own wave while an earlier one is still draining (its
+// drains queue behind the in-flight ones on the shared store link);
+// only a job whose *own* wave is still in flight is barred from
+// triggering another (wavePending, cleared when the last of its
+// victims finishes draining), so one blocked head cannot pile wave
+// upon wave for the same placement.
 func (s *Scheduler) preemptFor(j *Job) {
-	if !s.cfg.Preempt || s.ckptInFlight > 0 {
+	if !s.cfg.Preempt || j.wavePending {
 		return
 	}
 	// Victim order: lowest priority first, then the segment with the
 	// least elapsed work (cheapest to abandon), then highest ID.
+	// Drains queue behind whatever is already using the store link, so
+	// the futile-checkpoint guard prices the wait too: a gang whose
+	// natural yield point (completion, or its next quantum boundary)
+	// lands before its contended drain would finish frees the nodes no
+	// later by just running, and checkpointing it buys nothing.
+	queueDelay := s.storeFree - s.now
+	if queueDelay < 0 {
+		queueDelay = 0
+	}
 	var cands []*Job
 	for _, r := range s.running {
 		if r.preempting || r.Priority >= j.Priority || !s.less(j, r) {
 			continue
 		}
-		// A checkpoint frees the nodes no earlier than the victim's own
-		// completion when the drain outlasts its remaining runtime —
-		// preempting such a gang is strictly worse than waiting.
-		if r.End-s.now <= s.cfg.CheckpointCost(r) {
+		if r.End-s.now <= queueDelay+s.cfg.CheckpointCost(r) {
 			continue
 		}
 		cands = append(cands, r)
@@ -139,18 +147,39 @@ func (s *Scheduler) preemptFor(j *Job) {
 	if !admitted {
 		return // even suspending every eligible gang would not admit j
 	}
+	j.wavePending = true
+	j.waveLeft = int32(len(victims))
 	for _, v := range victims {
+		v.waveFor = j
 		s.beginCheckpoint(v)
+		s.fixRunning(v)
 	}
 }
 
-// beginCheckpoint banks the victim's progress, rewrites its completion
-// event to the end of its checkpoint drain, and marks it preempting;
-// complete() re-enqueues it when the drain event fires.
+// beginCheckpoint banks the victim's progress, schedules its drain on
+// the shared store link, rewrites its completion event to the drain
+// end, and marks it preempting; complete() re-enqueues it when the
+// drain event fires. The caller re-establishes heap order (fixRunning
+// for a job still in the heap, Push for one just popped).
+//
+// Drain pricing is bandwidth-contended: every checkpoint writes its
+// image over the same Gigabit link to the checkpoint store, so
+// concurrent drains serialize on a store-link timeline (storeFree)
+// rather than each assuming the full link — N simultaneous checkpoints
+// take the sum of their transfer times, not the maximum. The victim
+// holds its gang through both the queue wait and the transfer (its
+// image is not captured until the link picks it up), and both are
+// charged as checkpoint overhead.
 func (s *Scheduler) beginCheckpoint(v *Job) {
 	elapsed := s.now - v.segStart - v.segRestore
 	if elapsed < 0 {
-		elapsed = 0 // preempted mid-restore: the reload is wasted work
+		// Preempted mid-restore: the reload is wasted work, and the
+		// part of it that never ran is refunded from the overhead
+		// charge — the gang stopped holding nodes the instant the
+		// checkpoint began, so busy time stays exactly true work plus
+		// charged overhead.
+		v.overhead += elapsed
+		elapsed = 0
 	}
 	done := time.Duration(float64(elapsed) / v.segFactor)
 	if done > v.workLeft {
@@ -162,17 +191,21 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 	if cost < 0 {
 		cost = 0
 	}
-	v.overhead += cost
-	v.preempting = true
-	v.End = s.now + cost
-	for i, r := range s.running {
-		if r == v {
-			heap.Fix(&s.running, i)
-			break
-		}
+	start := s.now
+	if s.storeFree > start {
+		start = s.storeFree
 	}
+	s.drainWait += start - s.now
+	s.storeFree = start + cost
+	v.overhead += (start - s.now) + cost
+	v.preempting = true
+	v.End = start + cost
 	s.ckptInFlight++
-	s.preemptEvents++
+	if v.slicing {
+		s.sliceEvents++
+	} else {
+		s.preemptEvents++
+	}
 }
 
 // requeuePreempted finishes a checkpoint drain: captures the workload
@@ -181,7 +214,24 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 func (s *Scheduler) requeuePreempted(j *Job) {
 	s.ckptInFlight--
 	j.preempting = false
-	j.preempts++
+	if j.slicing {
+		j.slices++
+		j.slicing = false
+	} else {
+		j.preempts++
+	}
+	// Settle the wave this drain belonged to: when the beneficiary's
+	// last victim finishes draining, it may trigger a fresh wave if it
+	// is still blocked (e.g. a backfill took the freed nodes).
+	if b := j.waveFor; b != nil {
+		j.waveFor = nil
+		if b.waveLeft > 0 {
+			b.waveLeft--
+		}
+		if b.waveLeft == 0 {
+			b.wavePending = false
+		}
+	}
 	if ck, ok := s.cfg.Execute.(Checkpointer); ok {
 		frac := 1 - float64(j.workLeft)/float64(j.workTotal)
 		done := int(frac * float64(j.steps))

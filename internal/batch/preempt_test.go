@@ -82,7 +82,10 @@ func TestPreemptionReducesHighPriorityWait(t *testing.T) {
 
 // TestPreemptionSuspendsLowestPriorityGangs pins victim selection: with
 // several candidate gangs running, the preemptor drains the
-// lowest-priority ones and only as many as it needs.
+// lowest-priority ones and only as many as it needs. The two victims
+// checkpoint at the same instant, so their drains serialize on the
+// shared store link: the wave settles at the *sum* of the drain times
+// (20s + 2s + 2s), not at their maximum.
 func TestPreemptionSuspendsLowestPriorityGangs(t *testing.T) {
 	ck, rs := fixedCosts(2*time.Second, time.Second)
 	s := New(Config{Cluster: newTestCluster(32), Policy: Backfill,
@@ -101,8 +104,18 @@ func TestPreemptionSuspendsLowestPriorityGangs(t *testing.T) {
 		t.Fatalf("victims preempted %d/%d times, want both once (20 nodes need both 12-node gangs)",
 			vict1.Preemptions(), vict2.Preemptions())
 	}
-	if urgent.Start != 22*time.Second {
-		t.Fatalf("urgent started at %v, want 22s after the drain", urgent.Start)
+	if urgent.Start != 24*time.Second {
+		t.Fatalf("urgent started at %v, want 24s after the serialized drains", urgent.Start)
+	}
+	// The second victim in drain order paid the link wait: 2s queued
+	// behind vict1's transfer plus its own 2s transfer plus the 1s
+	// restore at redispatch.
+	if vict1.CheckpointOverhead() != 3*time.Second || vict2.CheckpointOverhead() != 5*time.Second {
+		t.Fatalf("victim overheads %v/%v, want 3s and 5s (second drain queued behind the first)",
+			vict1.CheckpointOverhead(), vict2.CheckpointOverhead())
+	}
+	if rep.DrainWait != 2*time.Second {
+		t.Fatalf("report drain wait %v, want the 2s vict2 queued for the link", rep.DrainWait)
 	}
 	for _, j := range rep.Jobs {
 		if j.State != Done {

@@ -11,8 +11,11 @@ import (
 // order (FIFO head-of-line, backfill candidates), not just the top. The
 // discipline comparator is supplied by the scheduler (fair-share
 // reorders by decayed usage); every comparator must end on the
-// submit-time-then-job-ID tie-break so equal-priority jobs keep a
-// stable, replay-deterministic order.
+// round-robin-key-then-job-ID tie-break (Job.rrKey: submit time, or the
+// last slice-suspension instant for a gang suspended at a quantum
+// boundary) so equal-priority jobs keep a stable, replay-deterministic
+// order and time-sliced gangs resume behind the waiters they yielded
+// to.
 type queue struct {
 	jobs  []*Job
 	dirty bool

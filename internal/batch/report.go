@@ -26,14 +26,32 @@ type Report struct {
 	Utilization float64
 	// AvgWait and MaxWait aggregate queue waits (Start - Submit).
 	AvgWait, MaxWait time.Duration
+	// ShortCut is the median resolved runtime estimate of the run's
+	// jobs, and ShortWait the mean wait of the jobs at or below it —
+	// the short-job population time-slicing exists to help. Both are
+	// captured at report time: Job lifecycle fields are overwritten
+	// when the same specs are replayed against another scheduler (the
+	// clusterctl comparison pattern), so they cannot be recomputed from
+	// Jobs later.
+	ShortCut, ShortWait time.Duration
 	// Backfilled counts jobs that jumped a blocked reservation.
 	Backfilled int
-	// Preempted counts jobs checkpointed off their gang at least once;
-	// PreemptEvents counts every checkpoint drain.
+	// Preempted counts jobs checkpointed off their gang at least once
+	// on priority; PreemptEvents counts every such checkpoint drain.
 	Preempted, PreemptEvents int
+	// Sliced counts jobs suspended at a quantum boundary at least once
+	// under time-slicing (Config.Quantum); SliceEvents counts every
+	// slice suspension.
+	Sliced, SliceEvents int
 	// CheckpointOverhead is the total checkpoint and restore time
-	// charged to allocations across all jobs.
+	// charged to allocations across all jobs, including time spent
+	// queued for the shared checkpoint-store link.
 	CheckpointOverhead time.Duration
+	// DrainWait is the total time checkpoint drains spent queued for
+	// the shared store link behind other in-flight drains — the
+	// bandwidth-contention cost of overlapping waves. Zero means every
+	// drain had the link to itself.
+	DrainWait time.Duration
 	// UserNodeTime aggregates granted node-time per Job.User — the raw
 	// (undecayed) fair-share accounting view.
 	UserNodeTime map[string]time.Duration
@@ -59,6 +77,8 @@ func (s *Scheduler) report() Report {
 		NodeBusy:      s.cfg.Cluster.BusyTimes(),
 		Backfilled:    s.backfills,
 		PreemptEvents: s.preemptEvents,
+		SliceEvents:   s.sliceEvents,
+		DrainWait:     s.drainWait,
 		UserNodeTime:  make(map[string]time.Duration),
 		AvgFreeFrags:  s.cfg.Cluster.AvgFreeFrags(),
 	}
@@ -84,6 +104,9 @@ func (s *Scheduler) report() Report {
 		if j.preempts > 0 {
 			r.Preempted++
 		}
+		if j.slices > 0 {
+			r.Sliced++
+		}
 		r.CheckpointOverhead += j.overhead
 		for _, seg := range j.History {
 			r.UserNodeTime[j.User] += time.Duration(seg.Alloc.Count) * (seg.End - seg.Start)
@@ -92,6 +115,8 @@ func (s *Scheduler) report() Report {
 	if n := len(s.finished); n > 0 {
 		r.AvgWait = waitSum / time.Duration(n)
 	}
+	r.ShortCut = r.MedianEstimate()
+	r.ShortWait = r.AvgWaitUnder(r.ShortCut)
 	if r.Makespan > 0 {
 		var busy time.Duration
 		for _, b := range r.NodeBusy {
@@ -100,6 +125,39 @@ func (s *Scheduler) report() Report {
 		r.Utilization = float64(busy) / (float64(r.Makespan) * float64(len(r.NodeBusy)))
 	}
 	return r
+}
+
+// AvgWaitUnder returns the mean queue wait over finished jobs whose
+// resolved runtime estimate is at most cut — the short-job wait, the
+// figure time-slicing exists to improve. Zero when no job qualifies.
+func (r Report) AvgWaitUnder(cut time.Duration) time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, j := range r.Jobs {
+		if j.Estimate() <= cut {
+			sum += j.Wait()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// MedianEstimate returns the median resolved runtime estimate over
+// finished jobs — the short/long cut the clusterctl comparison table
+// uses. Zero for an empty report.
+func (r Report) MedianEstimate() time.Duration {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	ests := make([]time.Duration, len(r.Jobs))
+	for i, j := range r.Jobs {
+		ests[i] = j.Estimate()
+	}
+	sort.Slice(ests, func(i, k int) bool { return ests[i] < ests[k] })
+	return ests[len(ests)/2]
 }
 
 // NodeUtilization returns each node's busy fraction of the makespan.
@@ -137,6 +195,12 @@ func (r Report) String() string {
 	if r.PreemptEvents > 0 {
 		fmt.Fprintf(&b, "  preemption: %d jobs preempted (%d checkpoints), %v checkpoint/restore overhead\n",
 			r.Preempted, r.PreemptEvents, RoundDuration(r.CheckpointOverhead))
+	}
+	if r.SliceEvents > 0 {
+		fmt.Fprintf(&b, "  timeslice: %d jobs sliced (%d suspensions)\n", r.Sliced, r.SliceEvents)
+	}
+	if r.DrainWait > 0 {
+		fmt.Fprintf(&b, "  drain contention: %v queued for the checkpoint-store link\n", RoundDuration(r.DrainWait))
 	}
 	if r.Policy == FairShare && len(r.UserNodeTime) > 0 {
 		users := make([]string, 0, len(r.UserNodeTime))

@@ -109,6 +109,19 @@ type Config struct {
 	// checkpoint (CheckpointCost), re-enter the queue with their saved
 	// progress, and pay RestoreCost when they are dispatched again.
 	Preempt bool
+	// Quantum enables time-sliced gang scheduling: a resident gang that
+	// has run a full quantum of work is suspended through the same
+	// checkpoint/restart protocol whenever a waiting job that outranks
+	// it in the discipline order could be placed on its nodes, and
+	// re-enters the queue stamped behind every such waiter — so gangs
+	// contending for the same nodes share them round-robin instead of
+	// running to completion. A gang with no eligible waiter keeps its
+	// nodes (its slice is extended in place, no overhead charged).
+	// Each slice grants a full quantum of execution after the restore
+	// charge, so progress per slice is bounded below and every mix
+	// drains regardless of how the quantum compares to the
+	// checkpoint/restore cost. <= 0 disables time-slicing.
+	Quantum time.Duration
 	// CheckpointCost prices draining one job's per-node workload image
 	// at preemption; nil uses DefaultCheckpointCost over the paper's
 	// hardware model (AGP readback plus a Gigabit write to the
@@ -139,7 +152,10 @@ type Scheduler struct {
 	nextID        int
 	backfills     int
 	preemptEvents int
-	ckptInFlight  int                  // victims currently draining checkpoints
+	sliceEvents   int
+	ckptInFlight  int                  // gangs currently draining checkpoints
+	storeFree     time.Duration        // instant the shared checkpoint-store link frees up
+	drainWait     time.Duration        // total time drains queued for the store link
 	usage         map[string]*usage    // per-user decayed accounting (fairshare.go)
 	less          func(a, b *Job) bool // jobLess, bound once (no per-pass closure)
 }
@@ -165,9 +181,10 @@ func New(cfg Config) *Scheduler {
 }
 
 // jobLess is the active queue discipline: fair-share usage (FairShare
-// only), then priority descending, then submit time, then job ID — the
-// final two legs make equal-priority ordering deterministic across
-// replays.
+// only), then priority descending, then the round-robin key (submit
+// time, or the last slice-suspension instant for a gang suspended at a
+// quantum boundary), then job ID — the final two legs make
+// equal-priority ordering deterministic across replays.
 func (s *Scheduler) jobLess(a, b *Job) bool {
 	if s.cfg.Policy == FairShare {
 		if ua, ub := s.usageOf(a.User), s.usageOf(b.User); ua != ub {
@@ -177,8 +194,8 @@ func (s *Scheduler) jobLess(a, b *Job) bool {
 	if a.Priority != b.Priority {
 		return a.Priority > b.Priority
 	}
-	if a.arrive != b.arrive {
-		return a.arrive < b.arrive
+	if ka, kb := a.rrKey(), b.rrKey(); ka != kb {
+		return ka < kb
 	}
 	return a.ID < b.ID
 }
@@ -240,6 +257,9 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.snapshot = nil
 	j.segStart, j.segRestore, j.segFactor = 0, 0, 1
 	j.promise, j.promised = 0, false
+	j.wavePending, j.waveLeft, j.waveFor = false, 0, nil
+	j.sliceEnd, j.sliceFull, j.slicing = false, 0, false
+	j.slices, j.rrStamp = 0, 0
 	s.pending.push(j)
 	return nil
 }
@@ -259,7 +279,12 @@ func (s *Scheduler) Run() Report {
 		case tComplete >= 0 && (!hasArrive || tComplete <= tArrive):
 			s.now = tComplete
 			for s.running.Len() > 0 && s.running[0].End == s.now {
-				s.complete(heap.Pop(&s.running).(*Job))
+				j := heap.Pop(&s.running).(*Job)
+				if j.sliceEnd && !j.preempting {
+					s.sliceBoundary(j)
+					continue
+				}
+				s.complete(j)
 			}
 		case hasArrive:
 			s.now = tArrive
@@ -392,9 +417,127 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 	j.segStart, j.segRestore, j.segFactor = s.now, j.restoreCost, factor
 	j.overhead += j.restoreCost
 	j.restoreCost = 0
+	j.wavePending = false
 	j.End = s.now + dur
+	// Time-slicing: a segment outliving the quantum carries a
+	// slice-boundary event instead; the restore charge rides ahead of
+	// the quantum so every slice banks a full quantum of execution.
+	j.sliceEnd, j.sliceFull, j.slicing = false, 0, false
+	if q := s.cfg.Quantum; q > 0 && dur > j.segRestore+q {
+		j.sliceFull = j.End
+		j.End = s.now + j.segRestore + q
+		j.sliceEnd = true
+	}
 	heap.Push(&s.running, j)
 	return true
+}
+
+// sliceBoundary handles a quantum-boundary event popped off the running
+// heap: if an arrived waiter that outranks the gang round-robin could
+// be placed on its nodes, the gang suspends through the checkpoint
+// protocol (stamped so it resumes after the waiters have had a turn);
+// otherwise the slice is extended in place, free of charge.
+//
+// The futile-suspension guard mirrors preemptFor's: when the gang's
+// remaining work would drain before its contended checkpoint does,
+// running to completion frees the nodes sooner than suspending, so the
+// boundary extends instead — a job whose runtime slightly exceeds a
+// quantum multiple finishes its tail rather than paying a checkpoint,
+// a store-link wait, and a restore to run it later.
+func (s *Scheduler) sliceBoundary(j *Job) {
+	queueDelay := s.storeFree - s.now
+	if queueDelay < 0 {
+		queueDelay = 0
+	}
+	futile := j.sliceFull-s.now <= queueDelay+s.cfg.CheckpointCost(j)
+	if !futile && s.sliceYields(j) {
+		j.sliceEnd, j.slicing = false, true
+		j.rrStamp = s.now // resume after the waiters that outranked us here
+		heap.Push(&s.running, j)
+		s.beginCheckpoint(j)
+		s.fixRunning(j)
+		return
+	}
+	j.End = j.sliceFull
+	if q := s.cfg.Quantum; s.now+q < j.sliceFull {
+		j.End = s.now + q
+	} else {
+		j.sliceEnd, j.sliceFull = false, 0
+	}
+	heap.Push(&s.running, j)
+}
+
+// sliceYields reports whether gang j must give up its nodes at the
+// current quantum boundary: some pending, arrived job both ranks ahead
+// of j as the discipline would order them after the suspension (j's
+// round-robin key becomes the boundary instant) and is unblocked by the
+// suspension — it cannot be placed on the currently free nodes but can
+// be once j's nodes join them. Suspending for a waiter that already
+// fits (it is blocked by policy, not capacity), for one that still
+// would not fit, or for one j would immediately outrank again, would
+// only thrash checkpoint/restore. Under FIFO only the queue head may
+// start, so only the head is consulted; under the backfilling
+// disciplines any outranking waiter counts (a backfill candidate's
+// shadow constraint is re-checked at the actual start, so a yield is at
+// worst one wasted suspension, not a misplacement).
+func (s *Scheduler) sliceYields(j *Job) bool {
+	var usedNow, usedFreed []bool // lazy bitmaps: as-is, and with j's nodes freed
+	for _, p := range s.pending.ordered(s.less) {
+		if p.arrive > s.now {
+			continue
+		}
+		if !s.outranksAtBoundary(p, j) {
+			if s.cfg.Policy == FIFO {
+				return false // head-of-line: nothing behind the head can start
+			}
+			continue
+		}
+		if usedNow == nil {
+			usedNow = s.cfg.Cluster.usedCopy()
+			usedFreed = append([]bool(nil), usedNow...)
+			for _, nr := range j.Alloc.Ranges {
+				for i := nr.First; i < nr.First+nr.Count; i++ {
+					usedFreed[i] = false
+				}
+			}
+		}
+		if !s.cfg.Cluster.canPlace(usedNow, p.Nodes, p.memNeed, s.cfg.Placement) &&
+			s.cfg.Cluster.canPlace(usedFreed, p.Nodes, p.memNeed, s.cfg.Placement) {
+			return true
+		}
+		if s.cfg.Policy == FIFO {
+			return false
+		}
+	}
+	return false
+}
+
+// outranksAtBoundary is jobLess(p, j) with j's round-robin key taken as
+// the current instant — the order the queue would see if j suspended
+// now — without mutating j.
+func (s *Scheduler) outranksAtBoundary(p, j *Job) bool {
+	if s.cfg.Policy == FairShare {
+		if up, uj := s.usageOf(p.User), s.usageOf(j.User); up != uj {
+			return up < uj
+		}
+	}
+	if p.Priority != j.Priority {
+		return p.Priority > j.Priority
+	}
+	if k := p.rrKey(); k != s.now {
+		return k < s.now
+	}
+	return p.ID < j.ID
+}
+
+// fixRunning re-establishes heap order after j's End was rewritten.
+func (s *Scheduler) fixRunning(j *Job) {
+	for i, r := range s.running {
+		if r == j {
+			heap.Fix(&s.running, i)
+			return
+		}
+	}
 }
 
 // complete handles a job whose end event fired: frees its gang, credits

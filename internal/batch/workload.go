@@ -363,6 +363,29 @@ func pdeFinish(j *Job, field []float32) (string, error) {
 		nx, ny, nz, j.Nodes, j.steps, math.Abs(got-want)), nil
 }
 
+// SyntheticStream is SyntheticMix with deterministic staggered
+// arrivals: successive jobs are spaced by a uniform random gap in
+// [0, 2*meanGap], so the queue sees the machine part-loaded at every
+// depth instead of everything arriving at once — the shape the
+// property tests replay under every policy × quantum × preemption
+// combination. The node/step/priority stream is identical to
+// SyntheticMix(seed, ...); only Submit differs.
+func SyntheticStream(seed int64, count, maxNodes int, meanGap time.Duration) []*Job {
+	jobs := SyntheticMix(seed, count, maxNodes)
+	if meanGap <= 0 {
+		return jobs
+	}
+	// A separate rng keeps the mix's own stream untouched, so a seeded
+	// mix and its streamed variant differ only in arrivals.
+	rng := rand.New(rand.NewSource(seed ^ 0x57bea))
+	var at time.Duration
+	for _, j := range jobs {
+		j.Submit = at
+		at += time.Duration(rng.Int63n(int64(2*meanGap) + 1))
+	}
+	return jobs
+}
+
 // SyntheticMix generates a deterministic skewed batch of count jobs for
 // a maxNodes-node cluster: mostly narrow short jobs with occasional
 // wide long ones — the workload shape that separates backfill from
