@@ -13,6 +13,9 @@
 //	clusterctl -policy all -preempt            # compare all four policies
 //	clusterctl -trace examples/traces/sample.swf -policy fairshare
 //	clusterctl -policy all -quantum 300s       # time-sliced gang scheduling
+//	clusterctl -preempt -suspend-to-host       # in-RAM suspension tier
+//	clusterctl -preempt -store-duplex half     # drains and restores share the wire
+//	clusterctl -preempt -store-bandwidth 30    # slower checkpoint store (MB/s)
 //	clusterctl -placement both                 # compare placement engines too
 //	clusterctl -execute -jobs 8                # actually run the workloads
 //	clusterctl -bench-json BENCH_batch.json    # emit the CI perf snapshot
@@ -49,6 +52,9 @@ func main() {
 	trunk := flag.Float64("trunk-slowdown", 1.1, "runtime multiplier for gangs spanning the stacking trunk")
 	preempt := flag.Bool("preempt", false, "enable priority preemption with checkpoint/restart")
 	quantum := flag.Duration("quantum", 0, "time-slice quantum for gang scheduling (0 disables; e.g. 300s)")
+	suspendToHost := flag.Bool("suspend-to-host", false, "suspend checkpoint images into node RAM when they fit (requires -preempt or -quantum)")
+	storeDuplex := flag.String("store-duplex", "full", "checkpoint-store link mode: full (independent read/write timelines) or half (one shared)")
+	storeBW := flag.Float64("store-bandwidth", 0, "checkpoint-store link bandwidth in MB/s (0 uses the paper's Gigabit model)")
 	tracePath := flag.String("trace", "", "replay an SWF-style workload trace instead of the synthetic mix")
 	execute := flag.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
 	benchJSON := flag.String("bench-json", "", "write a scheduler throughput/makespan snapshot to this file and exit")
@@ -60,6 +66,10 @@ func main() {
 	}
 	if *jobs < 0 {
 		log.Fatalf("clusterctl: -jobs %d: job count must be non-negative", *jobs)
+	}
+	duplex, err := validateCheckpointFlags(*suspendToHost, *preempt, *quantum, *storeDuplex, *storeBW)
+	if err != nil {
+		log.Fatalf("clusterctl: %v", err)
 	}
 
 	if *benchJSON != "" {
@@ -108,29 +118,45 @@ func main() {
 	if *execute {
 		shrink(mix, *nodes)
 	}
+	var ckptCost, restCost func(*batch.Job) time.Duration
+	if *storeBW > 0 {
+		ckptCost, restCost = batch.ScaledStoreCosts(*storeBW)
+	}
+	// One config builder serves every run, so a future knob cannot be
+	// wired into the policy grid but silently left off the baseline.
+	makeConfig := func(pol batch.Policy, plc batch.Placement, quantum time.Duration) batch.Config {
+		return batch.Config{
+			Cluster:        batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
+			Policy:         pol,
+			Placement:      plc,
+			Actual:         actual,
+			TrunkSlowdown:  *trunk,
+			Preempt:        *preempt,
+			Quantum:        quantum,
+			SuspendToHost:  *suspendToHost,
+			StoreDuplex:    duplex,
+			CheckpointCost: ckptCost,
+			RestoreCost:    restCost,
+		}
+	}
+	runMix := func(cfg batch.Config) batch.Report {
+		s := batch.New(cfg)
+		for _, j := range mix {
+			if err := s.Submit(j); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return s.Run()
+	}
 	var results []result
 	rtcEasy := make(map[batch.Placement]batch.Report) // run-to-completion baseline under -quantum
 	for _, plc := range placements {
 		for _, pol := range policies {
-			cfg := batch.Config{
-				Cluster:       batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
-				Policy:        pol,
-				Placement:     plc,
-				Actual:        actual,
-				TrunkSlowdown: *trunk,
-				Preempt:       *preempt,
-				Quantum:       *quantum,
-			}
+			cfg := makeConfig(pol, plc, *quantum)
 			if *execute {
 				cfg.Execute = batch.SimExecutor{TracerParticles: 1000}
 			}
-			s := batch.New(cfg)
-			for _, j := range mix {
-				if err := s.Submit(j); err != nil {
-					log.Fatal(err)
-				}
-			}
-			rep := s.Run()
+			rep := runMix(cfg)
 			fmt.Print(rep)
 			if *verbose {
 				printJobs(rep)
@@ -139,30 +165,17 @@ func main() {
 			results = append(results, result{placement: plc, policy: pol, rep: rep})
 		}
 		if *quantum > 0 {
-			cfg := batch.Config{
-				Cluster:       batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
-				Policy:        batch.Backfill,
-				Placement:     plc,
-				Actual:        actual,
-				TrunkSlowdown: *trunk,
-				Preempt:       *preempt,
-			}
-			s := batch.New(cfg)
-			for _, j := range mix {
-				if err := s.Submit(j); err != nil {
-					log.Fatal(err)
-				}
-			}
-			rtcEasy[plc] = s.Run()
+			rtcEasy[plc] = runMix(makeConfig(batch.Backfill, plc, 0))
 		}
 	}
 
 	if len(policies) > 1 || *quantum > 0 {
 		row := func(label string, f, r batch.Report) {
-			fmt.Printf("  %-13s makespan %8v (%s), utilization %5.1f%%, avg wait %8v, short wait %8v, %d backfilled, %d preempted, %d sliced\n",
+			fmt.Printf("  %-13s makespan %8v (%s), utilization %5.1f%%, avg wait %8v, short wait %8v, ckpt wait %-11s %d backfilled, %d preempted, %d sliced\n",
 				label, batch.RoundDuration(r.Makespan), gain(f.Makespan, r.Makespan),
 				100*r.Utilization, batch.RoundDuration(r.AvgWait),
-				batch.RoundDuration(r.ShortWait), r.Backfilled, r.Preempted, r.Sliced)
+				batch.RoundDuration(r.ShortWait), ckptWaitCol(r)+",",
+				r.Backfilled, r.Preempted, r.Sliced)
 		}
 		for _, plc := range placements {
 			f := find(results, plc, policies[0])
@@ -206,32 +219,51 @@ func main() {
 }
 
 // benchSnapshot is the BENCH_batch.json schema: scheduler throughput on
-// a large queue plus the default-mix makespan under every policy — the
-// perf trajectory CI records per commit.
+// a large queue, the default-mix makespan under every policy, and —
+// since schema 2 — the checkpoint cost model's trajectory: store-link
+// queue waits (drain + restore) and total checkpoint overhead from a
+// contended preempt+quantum run per policy, with and without the
+// suspend-to-host tier.
 type benchSnapshot struct {
-	Schema      int                `json:"schema"`
-	Nodes       int                `json:"nodes"`
-	Seed        int64              `json:"seed"`
-	BenchJobs   int                `json:"bench_jobs"`
-	WallMS      float64            `json:"wall_ms"`
-	JobsPerSec  float64            `json:"jobs_per_sec"`
-	MixJobs     int                `json:"mix_jobs"`
-	MakespanMS  map[string]float64 `json:"makespan_ms"`
-	AvgWaitMS   map[string]float64 `json:"avg_wait_ms"`
-	Utilization map[string]float64 `json:"utilization"`
+	Schema        int                `json:"schema"`
+	Nodes         int                `json:"nodes"`
+	Seed          int64              `json:"seed"`
+	BenchJobs     int                `json:"bench_jobs"`
+	WallMS        float64            `json:"wall_ms"`
+	JobsPerSec    float64            `json:"jobs_per_sec"`
+	MixJobs       int                `json:"mix_jobs"`
+	MakespanMS    map[string]float64 `json:"makespan_ms"`
+	AvgWaitMS     map[string]float64 `json:"avg_wait_ms"`
+	Utilization   map[string]float64 `json:"utilization"`
+	DrainWaitMS   map[string]float64 `json:"drain_wait_ms"`
+	RestoreWaitMS map[string]float64 `json:"restore_wait_ms"`
+	CkptOverhead  map[string]float64 `json:"ckpt_overhead_ms"`
+	HostCkptOver  map[string]float64 `json:"ckpt_overhead_suspend_to_host_ms"`
 }
 
 // writeBenchJSON measures scheduling throughput (jobs/s through a
-// 1000-job EASY queue, wall clock) and the default-mix schedule quality
-// under each policy, then writes the snapshot for the CI artifact.
+// 1000-job EASY queue, wall clock), the default-mix schedule quality
+// under each policy, and the contended checkpoint cost model
+// (preempt + 300s quantum, default perfmodel prices), then writes the
+// snapshot for the CI artifact.
 func writeBenchJSON(path string, nodes int, seed int64) {
-	run := func(pol batch.Policy, count int) (batch.Report, time.Duration) {
+	run := func(pol batch.Policy, count int, preempt bool, quantum time.Duration, suspend bool) (batch.Report, time.Duration) {
 		s := batch.New(batch.Config{
 			Cluster:       batch.NewCluster(nodes, netsim.GigabitSwitch(nodes)),
 			Policy:        pol,
 			TrunkSlowdown: 1.1,
+			Preempt:       preempt,
+			Quantum:       quantum,
+			SuspendToHost: suspend,
 		})
-		for _, j := range batch.SyntheticMix(seed, count, nodes) {
+		// The throughput/makespan rows replay the classic all-at-once
+		// mix; the contended checkpoint rows need staggered arrivals,
+		// or only fair-share's reordering ever drives a suspension.
+		jobs := batch.SyntheticMix(seed, count, nodes)
+		if preempt || quantum > 0 {
+			jobs = batch.SyntheticStream(seed, count, nodes, 5*time.Second)
+		}
+		for _, j := range jobs {
 			if err := s.Submit(j); err != nil {
 				log.Fatal(err)
 			}
@@ -241,24 +273,37 @@ func writeBenchJSON(path string, nodes int, seed int64) {
 		return rep, time.Since(t0)
 	}
 	const benchJobs = 1000
-	_, wall := run(batch.Backfill, benchJobs)
+	_, wall := run(batch.Backfill, benchJobs, false, 0, false)
 	snap := benchSnapshot{
-		Schema:      1,
-		Nodes:       nodes,
-		Seed:        seed,
-		BenchJobs:   benchJobs,
-		WallMS:      float64(wall.Microseconds()) / 1e3,
-		JobsPerSec:  benchJobs / wall.Seconds(),
-		MixJobs:     200,
-		MakespanMS:  map[string]float64{},
-		AvgWaitMS:   map[string]float64{},
-		Utilization: map[string]float64{},
+		Schema:        2,
+		Nodes:         nodes,
+		Seed:          seed,
+		BenchJobs:     benchJobs,
+		WallMS:        float64(wall.Microseconds()) / 1e3,
+		JobsPerSec:    benchJobs / wall.Seconds(),
+		MixJobs:       200,
+		MakespanMS:    map[string]float64{},
+		AvgWaitMS:     map[string]float64{},
+		Utilization:   map[string]float64{},
+		DrainWaitMS:   map[string]float64{},
+		RestoreWaitMS: map[string]float64{},
+		CkptOverhead:  map[string]float64{},
+		HostCkptOver:  map[string]float64{},
 	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	for _, pol := range batch.Policies() {
-		rep, _ := run(pol, snap.MixJobs)
-		snap.MakespanMS[pol.String()] = float64(rep.Makespan.Microseconds()) / 1e3
-		snap.AvgWaitMS[pol.String()] = float64(rep.AvgWait.Microseconds()) / 1e3
+		rep, _ := run(pol, snap.MixJobs, false, 0, false)
+		snap.MakespanMS[pol.String()] = ms(rep.Makespan)
+		snap.AvgWaitMS[pol.String()] = ms(rep.AvgWait)
 		snap.Utilization[pol.String()] = rep.Utilization
+		// The contended run drives both store-link directions; the
+		// suspend-to-host rerun records what the RAM tier saves.
+		ckpt, _ := run(pol, snap.MixJobs, true, 300*time.Second, false)
+		snap.DrainWaitMS[pol.String()] = ms(ckpt.DrainWait)
+		snap.RestoreWaitMS[pol.String()] = ms(ckpt.RestoreWait)
+		snap.CkptOverhead[pol.String()] = ms(ckpt.CheckpointOverhead + ckpt.DemotionTime)
+		host, _ := run(pol, snap.MixJobs, true, 300*time.Second, true)
+		snap.HostCkptOver[pol.String()] = ms(host.CheckpointOverhead + host.DemotionTime)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -289,6 +334,36 @@ func gain(base, improved time.Duration) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%+.1f%%", 100*(float64(improved)/float64(base)-1))
+}
+
+// ckptWaitCol renders a run's store-link queue waits as drain+restore,
+// or "n/a" for a run with no checkpoint traffic at all (no preemptions,
+// slices, or demotions means zero restores — a blank column would read
+// as a perfectly contention-free protocol rather than an unused one).
+func ckptWaitCol(r batch.Report) string {
+	if r.PreemptEvents == 0 && r.SliceEvents == 0 && r.Demotions == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%v+%v", batch.RoundDuration(r.DrainWait), batch.RoundDuration(r.RestoreWait))
+}
+
+// validateCheckpointFlags cross-checks the checkpoint-model knobs:
+// -suspend-to-host is meaningless without a suspension mechanism
+// (-preempt or -quantum), the duplex mode must parse, and a negative
+// store bandwidth is rejected (0 means "use the paper's Gigabit
+// model").
+func validateCheckpointFlags(suspendToHost, preempt bool, quantum time.Duration, duplex string, storeBW float64) (batch.Duplex, error) {
+	d, err := batch.ParseDuplex(duplex)
+	if err != nil {
+		return 0, fmt.Errorf("-store-duplex %q: %v", duplex, err)
+	}
+	if suspendToHost && !preempt && quantum <= 0 {
+		return 0, fmt.Errorf("-suspend-to-host needs a suspension mechanism: enable -preempt and/or -quantum")
+	}
+	if storeBW < 0 {
+		return 0, fmt.Errorf("-store-bandwidth %g: bandwidth must be non-negative MB/s (0 selects the paper's Gigabit model)", storeBW)
+	}
+	return d, nil
 }
 
 // shrink scales a batch down to sizes the functional simulators can

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"gpucluster/internal/batch"
+)
+
+func TestValidateCheckpointFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		suspend bool
+		preempt bool
+		quantum time.Duration
+		duplex  string
+		storeBW float64
+		wantErr bool
+		want    batch.Duplex
+	}{
+		{name: "defaults", duplex: "full", want: batch.FullDuplex},
+		{name: "half duplex", duplex: "half", want: batch.HalfDuplex},
+		{name: "bad duplex", duplex: "simplex", wantErr: true},
+		{name: "suspend without mechanism", suspend: true, duplex: "full", wantErr: true},
+		{name: "suspend with preempt", suspend: true, preempt: true, duplex: "full", want: batch.FullDuplex},
+		{name: "suspend with quantum", suspend: true, quantum: 300 * time.Second, duplex: "full", want: batch.FullDuplex},
+		{name: "negative bandwidth", duplex: "full", storeBW: -1, wantErr: true},
+		{name: "positive bandwidth", duplex: "half", storeBW: 30, want: batch.HalfDuplex},
+	}
+	for _, tc := range cases {
+		d, err := validateCheckpointFlags(tc.suspend, tc.preempt, tc.quantum, tc.duplex, tc.storeBW)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: flags accepted, want error", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		} else if d != tc.want {
+			t.Errorf("%s: duplex %v, want %v", tc.name, d, tc.want)
+		}
+	}
+}
+
+func TestCkptWaitColGuardsZeroRestoreRuns(t *testing.T) {
+	if got := ckptWaitCol(batch.Report{}); got != "n/a" {
+		t.Errorf("zero-restore run rendered %q, want n/a", got)
+	}
+	r := batch.Report{
+		PreemptEvents: 3,
+		DrainWait:     4 * time.Second,
+		RestoreWait:   6 * time.Second,
+	}
+	if got := ckptWaitCol(r); got != "4s+6s" {
+		t.Errorf("contended run rendered %q, want 4s+6s", got)
+	}
+}

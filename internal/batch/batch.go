@@ -11,11 +11,14 @@
 // and a job lifecycle driven by a virtual-time event loop. Gangs can be
 // suspended mid-run through a checkpoint/restart protocol — on priority
 // (Config.Preempt) or round-robin on a quantum boundary
-// (Config.Quantum, time-sliced gang scheduling) — with concurrent
-// checkpoint drains contending for the shared store link. Workload
-// adapters execute jobs on the functional simulators (cluster LBM +
-// tracer, distributed CG, parallel heat stencil) and derive runtime
-// estimates from the calibrated perfmodel hardware model.
+// (Config.Quantum, time-sliced gang scheduling) — with drains and
+// restores contending for the two directions of a duplex store link
+// (linksim.go), and an optional suspend-to-host tier that keeps images
+// in node RAM, demoting them to the store only under memory pressure
+// (suspend.go). Workload adapters execute jobs on the functional
+// simulators (cluster LBM + tracer, distributed CG, parallel heat
+// stencil) and derive runtime estimates from the calibrated perfmodel
+// hardware model.
 //
 // All scheduling time is virtual (time.Duration since scheduler start);
 // nothing sleeps. Only workload execution — when an Executor is
@@ -162,9 +165,14 @@ type Job struct {
 	snapshot    *Snapshot     // saved workload image between dispatches
 	waveFor     *Job          // victim side: the blocked job this drain is for
 	segStart    time.Duration // current segment's dispatch instant
-	segRestore  time.Duration // restore charge inside the current segment
+	segRestore  time.Duration // restore prefix (link wait + transfer) inside the current segment
 	segFactor   float64       // trunk stretch factor of the current segment
 	promise     time.Duration // reserved start recorded when first bypassed
+	readStart   time.Duration // current segment's store-read transfer start (mid-restore refunds)
+	readEnd     time.Duration // ...and its end; zero when the segment carries no store read
+	readWait    time.Duration // read-queue wait charged to RestoreWait for this segment
+	hostAlloc   Allocation    // nodes whose RAM pins the suspended image (suspend-to-host)
+	demoteEnd   time.Duration // instant an in-flight demotion write settles; 0 when none
 
 	// Time-slicing (scheduler-owned, see Config.Quantum). A resident
 	// gang whose remaining segment outlives the quantum carries a
@@ -186,6 +194,10 @@ type Job struct {
 	wavePending bool // a preemption wave is draining on this job's behalf
 	sliceEnd    bool // the pending End event is a quantum boundary
 	slicing     bool // current checkpoint drain is a slice suspension
+	hostDrain   bool // current drain stays in host RAM (suspend-to-host)
+	hostImage   bool // suspended image resident in host RAM, memory pinned
+	forceStore  bool // pending suspension must take the store tier: its
+	// in-RAM image would pin the very memory the beneficiary needs
 }
 
 // Segment is one dispatch of a job: the gang it ran on and the interval

@@ -95,6 +95,10 @@ type Cluster struct {
 	used  []bool
 	busy  []time.Duration
 	free  int // count of false entries in used
+	// reserved holds per-node host memory pinned by suspended-to-host
+	// checkpoint images (see suspend.go): the node may be free for
+	// placement, but only jobs fitting the remaining memory land on it.
+	reserved []int64
 	// fragSamples/fragSum sample the free-fragment count at each
 	// allocation instant, the report's fragmentation statistic.
 	fragSamples, fragSum int
@@ -107,11 +111,12 @@ func NewCluster(n int, net netsim.Config) *Cluster {
 		panic(fmt.Sprintf("batch: invalid cluster size %d", n))
 	}
 	c := &Cluster{
-		nodes: make([]NodeSpec, n),
-		net:   net,
-		used:  make([]bool, n),
-		busy:  make([]time.Duration, n),
-		free:  n,
+		nodes:    make([]NodeSpec, n),
+		net:      net,
+		used:     make([]bool, n),
+		busy:     make([]time.Duration, n),
+		free:     n,
+		reserved: make([]int64, n),
 	}
 	for i := range c.nodes {
 		group := 0
@@ -141,7 +146,9 @@ func (c *Cluster) Net() netsim.Config { return c.net }
 func (c *Cluster) FreeNodes() int { return c.free }
 
 // NodesWithMem counts nodes (busy or not) offering at least need bytes,
-// the admission-feasibility bound checked at submit.
+// the admission-feasibility bound checked at submit. Deliberately
+// spec-based: transient suspend-to-host reservations must not bounce a
+// submission the machine can serve once images demote or resume.
 func (c *Cluster) NodesWithMem(need int64) int {
 	n := 0
 	for _, s := range c.nodes {
@@ -150,6 +157,64 @@ func (c *Cluster) NodesWithMem(need int64) int {
 		}
 	}
 	return n
+}
+
+// avail returns node i's memory available to a new placement: its spec
+// minus whatever suspended checkpoint images currently pin.
+func (c *Cluster) avail(i int) int64 { return c.nodes[i].MemBytes - c.reserved[i] }
+
+// NodesWithAvail counts nodes (busy or not) whose *available* memory —
+// spec minus resident suspended images — covers need: the capacity
+// bound reservation planning uses, where NodesWithMem's spec-based
+// count would promise slots that pinned images cannot honor.
+func (c *Cluster) NodesWithAvail(need int64) int {
+	n := 0
+	for i := range c.nodes {
+		if c.avail(i) >= need {
+			n++
+		}
+	}
+	return n
+}
+
+// ReservedBytes returns the host memory node i has pinned under
+// suspended-to-host checkpoint images.
+func (c *Cluster) ReservedBytes(i int) int64 { return c.reserved[i] }
+
+// reserve pins bytes of host memory on every node of a — a suspended
+// job's checkpoint image staying resident in RAM.
+func (c *Cluster) reserve(a Allocation, bytes int64) {
+	for _, r := range a.Ranges {
+		for i := r.First; i < r.First+r.Count; i++ {
+			c.reserved[i] += bytes
+		}
+	}
+}
+
+// unreserve releases a reservation made with reserve.
+func (c *Cluster) unreserve(a Allocation, bytes int64) {
+	for _, r := range a.Ranges {
+		for i := r.First; i < r.First+r.Count; i++ {
+			c.reserved[i] -= bytes
+			if c.reserved[i] < 0 {
+				panic(fmt.Sprintf("batch: negative memory reservation on node %d", i))
+			}
+		}
+	}
+}
+
+// freeAndFits reports whether every node of a is currently unallocated
+// and offers at least need bytes — the home-resume eligibility check for
+// a suspended-to-host job returning to the nodes holding its image.
+func (c *Cluster) freeAndFits(a Allocation, need int64) bool {
+	for _, r := range a.Ranges {
+		for i := r.First; i < r.First+r.Count; i++ {
+			if c.used[i] || c.avail(i) < need {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // rangesCrossTrunk reports whether a node set (disjoint ascending

@@ -141,21 +141,32 @@ func (s *Scheduler) conservativePass() bool {
 		if j.arrive > s.now {
 			continue
 		}
-		// Reservations use the worst-case trunk stretch so a slot is
-		// always long enough for whatever placement the start gets.
-		d := j.restoreCost + s.stretched(j.estLeft(), true)
+		// Reservations use the worst-case trunk stretch and the
+		// worst-case restore prefix (a host image may have to migrate
+		// over the store if its home is taken) so a slot is always
+		// long enough for whatever placement the start gets.
+		d := s.restorePrefixWorst(j) + s.stretched(j.estLeft(), true)
 		if d < time.Millisecond {
 			d = time.Millisecond
 		}
 		// Eligible-node lower bound: free eligible >= eligible - busy,
 		// so capping busy at eligible-k guarantees a feasible gang
-		// under the topology engine even on heterogeneous memory.
-		eligible := s.cfg.Cluster.NodesWithMem(j.memNeed)
+		// under the topology engine even on heterogeneous memory. The
+		// count uses *available* memory (resident images pin their
+		// footprint; j's own image is its to spend), so a promised
+		// slot is not booked on RAM a suspended image occupies.
+		eligible := 0
+		s.withOwnImageLifted(j, func() {
+			eligible = s.cfg.Cluster.NodesWithAvail(j.memNeed)
+		})
 		limit := eligible - j.Nodes
 		if c := size - j.Nodes; c < limit {
 			limit = c
 		}
 		t := prof.earliest(d, limit)
+		if t < j.demoteEnd {
+			t = j.demoteEnd // cannot start before its image finishes evicting
+		}
 		if t == s.now && s.tryStart(j, jumped, 0, false) {
 			return true
 		}
@@ -170,6 +181,11 @@ func (s *Scheduler) conservativePass() bool {
 				// ends are in the profile and backfill goes on.
 				return false
 			}
+			// Memory pressure: a head blocked on suspended images (not
+			// node occupancy) starts their demotion to the store. The
+			// profile needs no re-plan — demotions change memory
+			// availability at their settlement, not completion events.
+			s.demoteFor(j)
 		}
 		head = false
 		if t > s.now && !j.promised {

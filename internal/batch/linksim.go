@@ -1,0 +1,130 @@
+package batch
+
+import (
+	"fmt"
+	"time"
+)
+
+// The checkpoint store hangs off the same Gigabit fabric as everything
+// else: every drain writes its image over the shared link to the store,
+// and every restore reads it back over the same wire. PR 4 taught the
+// drain side that lesson (concurrent checkpoints serialize instead of
+// each assuming the full link); this file owns the generalization — a
+// single duplex link model with a write timeline *and* a read timeline,
+// so mass re-dispatches after a preemption wave serialize their
+// restores exactly the way the wave serialized its drains.
+
+// Duplex selects how the store link's two directions share the wire.
+type Duplex int
+
+const (
+	// FullDuplex (the default) models the paper's switched Gigabit
+	// link: reads and writes ride independent timelines, so a restore
+	// only queues behind other restores and a drain behind other
+	// drains.
+	FullDuplex Duplex = iota
+	// HalfDuplex shares one timeline between both directions — the
+	// cheap-NAS configuration where a drain in flight delays a restore
+	// and vice versa.
+	HalfDuplex
+)
+
+func (d Duplex) String() string {
+	switch d {
+	case FullDuplex:
+		return "full"
+	case HalfDuplex:
+		return "half"
+	}
+	return fmt.Sprintf("duplex(%d)", int(d))
+}
+
+// ParseDuplex maps a CLI string to a Duplex mode.
+func ParseDuplex(s string) (Duplex, error) {
+	switch s {
+	case "full":
+		return FullDuplex, nil
+	case "half":
+		return HalfDuplex, nil
+	}
+	return 0, fmt.Errorf("batch: unknown duplex mode %q (want full or half)", s)
+}
+
+// storeLink is the shared checkpoint-store link: scalar busy-until
+// timelines per direction. Transfers are granted in arrival order —
+// a reservation starts when the relevant timeline frees — which is
+// exactly the serialized-sum pricing the contention tests pin.
+type storeLink struct {
+	duplex    Duplex
+	writeFree time.Duration // instant the write (drain) direction frees
+	readFree  time.Duration // instant the read (restore) direction frees
+}
+
+// writeDelay returns how long a drain starting now would queue before
+// the write direction picks it up, without reserving.
+func (l *storeLink) writeDelay(now time.Duration) time.Duration {
+	if d := l.writeFree - now; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// readDelay returns how long a restore starting now would queue before
+// the read direction picks it up, without reserving.
+func (l *storeLink) readDelay(now time.Duration) time.Duration {
+	if d := l.readFree - now; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// reserveWrite books a drain (or demotion) transfer of the given cost
+// and returns the instant it starts; the write timeline advances to its
+// end, and in half-duplex mode the read timeline advances with it.
+func (l *storeLink) reserveWrite(now, cost time.Duration) time.Duration {
+	start := now
+	if l.writeFree > start {
+		start = l.writeFree
+	}
+	l.writeFree = start + cost
+	if l.duplex == HalfDuplex {
+		l.readFree = l.writeFree
+	}
+	return start
+}
+
+// reserveRead books a restore transfer and returns its start instant.
+func (l *storeLink) reserveRead(now, cost time.Duration) time.Duration {
+	start := now
+	if l.readFree > start {
+		start = l.readFree
+	}
+	l.readFree = start + cost
+	if l.duplex == HalfDuplex {
+		l.writeFree = l.readFree
+	}
+	return start
+}
+
+// releaseRead gives back the tail of a cancelled read reservation
+// [start, end): a job preempted mid-restore stops its transfer, and the
+// untransferred remainder of its slot frees for whoever queues next.
+// Only the tail reservation can be compacted — if a later transfer
+// already queued behind this one, its pricing stands (the link promised
+// it a start after end, and re-pricing in-flight segments would rewrite
+// events already scheduled) — which is exact for the common case: the
+// preemption that cancels a restore targets the *last* queued one,
+// because earlier restores belong to higher-ranked jobs.
+func (l *storeLink) releaseRead(start, end, now time.Duration) {
+	if l.readFree != end {
+		return
+	}
+	back := start
+	if now > back {
+		back = now // mid-transfer: the wire was genuinely busy until now
+	}
+	l.readFree = back
+	if l.duplex == HalfDuplex && l.writeFree == end {
+		l.writeFree = back
+	}
+}

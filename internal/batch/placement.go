@@ -119,12 +119,13 @@ func (c *Cluster) candidates(k int, need int64, pol Placement) []candidate {
 
 // firstFit returns the start of the first eligible contiguous run of k
 // nodes in the given bitmap, or -1 — the legacy scan, now skipping
-// nodes short on memory. Shared by live allocation (the cluster's own
-// bitmap) and the backfill shadow simulation (a hypothetical one).
+// nodes short on memory (spec minus suspended-image reservations).
+// Shared by live allocation (the cluster's own bitmap) and the backfill
+// shadow simulation (a hypothetical one).
 func (c *Cluster) firstFit(used []bool, k int, need int64) int {
 	run := 0
 	for i := range c.nodes {
-		if used[i] || c.nodes[i].MemBytes < need {
+		if used[i] || c.avail(i) < need {
 			run = 0
 			continue
 		}
@@ -137,12 +138,12 @@ func (c *Cluster) firstFit(used []bool, k int, need int64) int {
 }
 
 // eligibleRuns returns the maximal runs of free nodes with at least
-// need bytes of memory, ascending.
+// need bytes of available memory, ascending.
 func (c *Cluster) eligibleRuns(need int64) []NodeRange {
 	var runs []NodeRange
 	start := -1
 	for i := range c.nodes {
-		ok := !c.used[i] && c.nodes[i].MemBytes >= need
+		ok := !c.used[i] && c.avail(i) >= need
 		switch {
 		case ok && start < 0:
 			start = i
@@ -337,7 +338,7 @@ func (c *Cluster) canPlace(used []bool, k int, need int64, pol Placement) bool {
 	}
 	free := 0
 	for i := range c.nodes {
-		if !used[i] && c.nodes[i].MemBytes >= need {
+		if !used[i] && c.avail(i) >= need {
 			free++
 			if free == k {
 				return true

@@ -52,28 +52,59 @@ type Checkpointer interface {
 // checkpoint/restore costs: the paper's AGP 8x bus and Gigabit links.
 var ckptHardware = perfmodel.Paper()
 
-// DefaultCheckpointCost models draining one node's workload image at a
-// checkpoint: the GPU->host readback over the (asymmetric, slow-up) AGP
-// bus, then the write to the shared checkpoint store over the node's
-// Gigabit link. Gang nodes drain in parallel, so the job pays the
-// per-node cost once regardless of width.
-func DefaultCheckpointCost(j *Job) time.Duration {
+// storeTransfer prices moving one node's image over the Gigabit link to
+// or from the checkpoint store — the leg both directions of the store
+// round-trip share, and the one suspend-to-host skips.
+func storeTransfer(j *Job) time.Duration {
+	h := ckptHardware
+	return time.Duration(float64(j.memNeed) / (h.Net.LinkBandwidth * h.Net.Efficiency) * float64(time.Second))
+}
+
+// DefaultHostSuspendCost models the bus-only half of a drain: the
+// GPU->host readback over the (asymmetric, slow-up) AGP bus. It is the
+// whole price of a suspend-to-host drain — the image stays in node RAM
+// — and the first leg of a store checkpoint.
+func DefaultHostSuspendCost(j *Job) time.Duration {
 	h := ckptHardware
 	bytes := float64(j.memNeed)
-	readback := time.Duration(bytes/(h.Bus.UpBandwidth*h.Bus.Efficiency)*float64(time.Second)) + h.Bus.OpLatency
-	store := time.Duration(bytes / (h.Net.LinkBandwidth * h.Net.Efficiency) * float64(time.Second))
-	return readback + store
+	return time.Duration(bytes/(h.Bus.UpBandwidth*h.Bus.Efficiency)*float64(time.Second)) + h.Bus.OpLatency
+}
+
+// DefaultHostResumeCost models the bus-only half of a restore: the
+// host->GPU download riding the fast direction of the AGP bus — the
+// whole price of resuming a host-resident image.
+func DefaultHostResumeCost(j *Job) time.Duration {
+	h := ckptHardware
+	bytes := float64(j.memNeed)
+	return time.Duration(bytes/(h.Bus.DownBandwidth*h.Bus.Efficiency)*float64(time.Second)) + h.Bus.OpLatency
+}
+
+// DefaultCheckpointCost models draining one node's workload image at a
+// checkpoint: the GPU->host readback over the AGP bus, then the write
+// to the shared checkpoint store over the node's Gigabit link. Gang
+// nodes drain in parallel, so the job pays the per-node cost once
+// regardless of width.
+func DefaultCheckpointCost(j *Job) time.Duration {
+	return DefaultHostSuspendCost(j) + storeTransfer(j)
 }
 
 // DefaultRestoreCost models reloading a checkpointed image at the next
 // dispatch: the read back from the store plus the host->GPU download,
 // which rides the fast direction of the AGP bus.
 func DefaultRestoreCost(j *Job) time.Duration {
-	h := ckptHardware
-	bytes := float64(j.memNeed)
-	fetch := time.Duration(bytes / (h.Net.LinkBandwidth * h.Net.Efficiency) * float64(time.Second))
-	download := time.Duration(bytes/(h.Bus.DownBandwidth*h.Bus.Efficiency)*float64(time.Second)) + h.Bus.OpLatency
-	return fetch + download
+	return storeTransfer(j) + DefaultHostResumeCost(j)
+}
+
+// ScaledStoreCosts returns checkpoint/restore cost functions with the
+// store leg priced at mbps megabytes per second instead of the paper's
+// Gigabit link — the clusterctl -store-bandwidth knob. The bus legs
+// keep the calibrated AGP model. mbps must be positive.
+func ScaledStoreCosts(mbps float64) (ckpt, restore func(*Job) time.Duration) {
+	leg := func(j *Job) time.Duration {
+		return time.Duration(float64(j.memNeed) / (mbps * 1e6) * float64(time.Second))
+	}
+	return func(j *Job) time.Duration { return DefaultHostSuspendCost(j) + leg(j) },
+		func(j *Job) time.Duration { return leg(j) + DefaultHostResumeCost(j) }
 }
 
 // preemptFor suspends the cheapest sufficient set of running gangs so
@@ -97,21 +128,19 @@ func (s *Scheduler) preemptFor(j *Job) {
 	}
 	// Victim order: lowest priority first, then the segment with the
 	// least elapsed work (cheapest to abandon), then highest ID.
-	// Drains queue behind whatever is already using the store link, so
-	// the futile-checkpoint guard prices the wait too: a gang whose
-	// natural yield point (completion, or its next quantum boundary)
-	// lands before its contended drain would finish frees the nodes no
-	// later by just running, and checkpointing it buys nothing.
-	queueDelay := s.storeFree - s.now
-	if queueDelay < 0 {
-		queueDelay = 0
-	}
+	// Store drains queue behind whatever is already using the write
+	// direction of the store link, so the futile-checkpoint guard
+	// prices the wait too: a gang whose natural yield point
+	// (completion, or its next quantum boundary) lands before its
+	// contended drain would finish frees the nodes no later by just
+	// running, and checkpointing it buys nothing. A suspend-to-host
+	// drain skips the link entirely, so only its bus readback counts.
 	var cands []*Job
 	for _, r := range s.running {
 		if r.preempting || r.Priority >= j.Priority || !s.less(j, r) {
 			continue
 		}
-		if r.End-s.now <= queueDelay+s.cfg.CheckpointCost(r) {
+		if r.End-s.now <= s.drainEstimate(r) {
 			continue
 		}
 		cands = append(cands, r)
@@ -129,22 +158,85 @@ func (s *Scheduler) preemptFor(j *Job) {
 		}
 		return a.ID > b.ID
 	})
-	used := s.cfg.Cluster.usedCopy()
+	c := s.cfg.Cluster
 	var victims []*Job
 	admitted := false
-	for _, v := range cands {
-		for _, nr := range v.Alloc.Ranges {
-			for i := nr.First; i < nr.First+nr.Count; i++ {
-				used[i] = false
+	// The admission trial runs with j's own resident image lifted
+	// (its dispatch spends that memory) — a head self-blocked by its
+	// own image could otherwise never get a wave admitted onto its
+	// home nodes.
+	s.withOwnImageLifted(j, func() {
+		used := c.usedCopy()
+		var trial []*Job // host-eligible victims, image reservation held for the trial
+		for _, v := range cands {
+			for _, nr := range v.Alloc.Ranges {
+				for i := nr.First; i < nr.First+nr.Count; i++ {
+					used[i] = false
+				}
+			}
+			victims = append(victims, v)
+			// A host-eligible victim's image will pin its footprint on
+			// the freed nodes: the admission check must see that
+			// memory as gone, or the wave drains and j still cannot
+			// seat (then pays a demotion on top of the suspension it
+			// just funded).
+			if s.hostEligible(v) {
+				c.reserve(v.Alloc, v.memNeed)
+				trial = append(trial, v)
+			}
+			if c.canPlace(used, j.Nodes, j.memNeed, s.cfg.Placement) {
+				admitted = true
+				break
 			}
 		}
-		victims = append(victims, v)
-		if s.cfg.Cluster.canPlace(used, j.Nodes, j.memNeed, s.cfg.Placement) {
-			admitted = true
-			break
+		if !admitted {
+			// The freed nodes alone don't seat j — perhaps the
+			// victims' own resident images are what blocks it. Forcing
+			// those victims to the store tier (no image, full drain
+			// price) keeps the wave viable without an immediate
+			// demotion round-trip. The flip re-prices the drain, so
+			// the futile-checkpoint rule is re-checked at the store
+			// tariff: a victim that would finish before its store
+			// drain does cannot be flipped.
+			for _, v := range trial {
+				if v.End-s.now <= s.storeDrainEstimate(v) {
+					continue
+				}
+				c.unreserve(v.Alloc, v.memNeed)
+				v.forceStore = true
+				if c.canPlace(used, j.Nodes, j.memNeed, s.cfg.Placement) {
+					admitted = true
+					break
+				}
+			}
+			// Minimize the flips: an early victim's image may never
+			// have been in j's way (small image, its nodes stay
+			// eligible) — if re-pinning it leaves j placeable, it
+			// keeps the cheap host tier.
+			if admitted {
+				for _, v := range trial {
+					if !v.forceStore {
+						continue
+					}
+					c.reserve(v.Alloc, v.memNeed)
+					if c.canPlace(used, j.Nodes, j.memNeed, s.cfg.Placement) {
+						v.forceStore = false
+					} else {
+						c.unreserve(v.Alloc, v.memNeed)
+					}
+				}
+			}
 		}
-	}
+		for _, v := range trial {
+			if !v.forceStore {
+				c.unreserve(v.Alloc, v.memNeed) // trial reservation only
+			}
+		}
+	})
 	if !admitted {
+		for _, v := range victims {
+			v.forceStore = false
+		}
 		return // even suspending every eligible gang would not admit j
 	}
 	j.wavePending = true
@@ -156,47 +248,80 @@ func (s *Scheduler) preemptFor(j *Job) {
 	}
 }
 
-// beginCheckpoint banks the victim's progress, schedules its drain on
-// the shared store link, rewrites its completion event to the drain
-// end, and marks it preempting; complete() re-enqueues it when the
-// drain event fires. The caller re-establishes heap order (fixRunning
-// for a job still in the heap, Push for one just popped).
+// beginCheckpoint banks the victim's progress, schedules its drain —
+// on the write direction of the shared store link, or bus-only into
+// host RAM when the suspend-to-host tier applies — rewrites its
+// completion event to the drain end, and marks it preempting;
+// complete() re-enqueues it when the drain event fires. The caller
+// re-establishes heap order (fixRunning for a job still in the heap,
+// Push for one just popped).
 //
-// Drain pricing is bandwidth-contended: every checkpoint writes its
-// image over the same Gigabit link to the checkpoint store, so
-// concurrent drains serialize on a store-link timeline (storeFree)
-// rather than each assuming the full link — N simultaneous checkpoints
-// take the sum of their transfer times, not the maximum. The victim
-// holds its gang through both the queue wait and the transfer (its
-// image is not captured until the link picks it up), and both are
-// charged as checkpoint overhead.
+// Store-drain pricing is bandwidth-contended: every checkpoint writes
+// its image over the same Gigabit link to the checkpoint store, so
+// concurrent drains serialize on the link's write timeline rather than
+// each assuming the full link — N simultaneous checkpoints take the
+// sum of their transfer times, not the maximum. The victim holds its
+// gang through both the queue wait and the transfer (its image is not
+// captured until the link picks it up), and both are charged as
+// checkpoint overhead. Host drains skip the link: each gang's readback
+// rides its own AGP bus, so concurrent host suspensions run in
+// parallel.
 func (s *Scheduler) beginCheckpoint(v *Job) {
+	// The tier decision reads the read-reservation fields (a gang
+	// mid-store-restore has no state in RAM to suspend), so settle it
+	// before the refund logic clears them.
+	hostTier := s.hostEligible(v) && !v.forceStore
+	v.forceStore = false
 	elapsed := s.now - v.segStart - v.segRestore
 	if elapsed < 0 {
 		// Preempted mid-restore: the reload is wasted work, and the
 		// part of it that never ran is refunded from the overhead
 		// charge — the gang stopped holding nodes the instant the
 		// checkpoint began, so busy time stays exactly true work plus
-		// charged overhead.
+		// charged overhead. A store restore also gives its link slot
+		// back: the untransferred tail frees for the next restore, and
+		// queue wait that was charged but never served comes off the
+		// contention statistic.
 		v.overhead += elapsed
+		if v.readEnd > 0 {
+			// Unserved queue wait comes off the contention statistic,
+			// capped at what this segment was actually charged (a
+			// migrating job's wait clock only started after its
+			// outbound write leg).
+			if refund := v.readStart - s.now; refund > 0 {
+				if refund > v.readWait {
+					refund = v.readWait
+				}
+				s.restoreWait -= refund
+			}
+			s.link.releaseRead(v.readStart, v.readEnd, s.now)
+		}
 		elapsed = 0
 	}
+	v.readStart, v.readEnd, v.readWait = 0, 0, 0
 	done := time.Duration(float64(elapsed) / v.segFactor)
 	if done > v.workLeft {
 		done = v.workLeft
 	}
 	v.workLeft -= done
 	v.doneWork += done
-	cost := s.cfg.CheckpointCost(v)
-	if cost < 0 {
-		cost = 0
+	var start, cost time.Duration
+	if hostTier {
+		cost = s.cfg.HostSuspendCost(v)
+		if cost < 0 {
+			cost = 0
+		}
+		start = s.now
+		v.hostDrain = true
+		s.hostSuspends++
+	} else {
+		cost = s.cfg.CheckpointCost(v)
+		if cost < 0 {
+			cost = 0
+		}
+		start = s.link.reserveWrite(s.now, cost)
+		s.drainWait += start - s.now
 	}
-	start := s.now
-	if s.storeFree > start {
-		start = s.storeFree
-	}
-	s.drainWait += start - s.now
-	s.storeFree = start + cost
 	v.overhead += (start - s.now) + cost
 	v.preempting = true
 	v.End = start + cost
@@ -247,10 +372,80 @@ func (s *Scheduler) requeuePreempted(j *Job) {
 		}
 		j.snapshot = snap
 	}
-	j.restoreCost = s.cfg.RestoreCost(j)
+	if j.hostDrain {
+		// Suspend-to-host: the image stays resident in the gang's node
+		// RAM. The nodes are free for other gangs, but the image pins
+		// its footprint until the job resumes (cheap, bus-only) or a
+		// memory-squeezed waiter forces a demotion to the store.
+		j.hostDrain = false
+		j.hostImage = true
+		j.hostAlloc = j.Alloc
+		s.cfg.Cluster.reserve(j.hostAlloc, j.memNeed)
+		j.restoreCost = s.cfg.HostResumeCost(j)
+	} else {
+		j.restoreCost = s.cfg.RestoreCost(j)
+	}
 	if j.restoreCost < 0 {
 		j.restoreCost = 0
 	}
 	j.State = Queued
 	s.pending.push(j)
+}
+
+// drainEstimate prices the drain a checkpoint of r started now would
+// take, including the write-link queue wait for a store drain — the
+// futile-suspension guards compare it to the victim's natural yield
+// point.
+func (s *Scheduler) drainEstimate(r *Job) time.Duration {
+	if s.hostEligible(r) {
+		return s.cfg.HostSuspendCost(r)
+	}
+	return s.storeDrainEstimate(r)
+}
+
+// storeDrainEstimate prices a store-tier drain of r started now: the
+// write-direction queue wait plus the full checkpoint transfer. The
+// forceStore flip sites re-check futility against this tariff.
+func (s *Scheduler) storeDrainEstimate(r *Job) time.Duration {
+	return s.link.writeDelay(s.now) + s.cfg.CheckpointCost(r)
+}
+
+// storeWriteLeg prices moving r's image out of host RAM into the
+// checkpoint store: the full checkpoint cost minus the bus-only drain
+// already paid at suspension — with the default model, exactly the
+// store transfer the suspension skipped. Shared by demotions and the
+// outbound leg of a migration so the same physical write can never be
+// priced two ways.
+func (s *Scheduler) storeWriteLeg(r *Job) time.Duration {
+	cost := s.cfg.CheckpointCost(r) - s.cfg.HostSuspendCost(r)
+	if cost < 0 {
+		cost = 0
+	}
+	return cost
+}
+
+// hostEligible reports whether a checkpoint of r can stay in host RAM:
+// the suspend-to-host tier is on, r's state is actually on its nodes,
+// and every node of r's gang has room for the image alongside whatever
+// earlier suspensions already pinned.
+func (s *Scheduler) hostEligible(r *Job) bool {
+	if !s.cfg.SuspendToHost {
+		return false
+	}
+	// A gang still inside its restore prefix with a store read booked
+	// has no complete state on its nodes — the authoritative image is
+	// in the store (or mid-transfer to it, for a migration's write
+	// leg), so there is nothing to suspend into RAM. Its checkpoint
+	// takes the store path, whose drain pricing stands either way.
+	if r.readEnd > 0 && s.now < r.segStart+r.segRestore {
+		return false
+	}
+	for _, nr := range r.Alloc.Ranges {
+		for i := nr.First; i < nr.First+nr.Count; i++ {
+			if s.cfg.Cluster.avail(i) < r.memNeed {
+				return false
+			}
+		}
+	}
+	return true
 }

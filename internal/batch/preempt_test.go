@@ -107,15 +107,22 @@ func TestPreemptionSuspendsLowestPriorityGangs(t *testing.T) {
 	if urgent.Start != 24*time.Second {
 		t.Fatalf("urgent started at %v, want 24s after the serialized drains", urgent.Start)
 	}
-	// The second victim in drain order paid the link wait: 2s queued
-	// behind vict1's transfer plus its own 2s transfer plus the 1s
-	// restore at redispatch.
-	if vict1.CheckpointOverhead() != 3*time.Second || vict2.CheckpointOverhead() != 5*time.Second {
-		t.Fatalf("victim overheads %v/%v, want 3s and 5s (second drain queued behind the first)",
+	// Both directions of the store link are contended. Drain side:
+	// vict2 queued 2s behind vict1's transfer. Restore side: both
+	// victims re-dispatch together when the urgent job ends, and vict1
+	// (behind vict2 in the priority order) queues 1s on the read link
+	// behind vict2's restore transfer. Overheads: vict1 = 2s drain +
+	// 1s read wait + 1s restore = 4s; vict2 = 2s drain wait + 2s drain
+	// + 1s restore = 5s.
+	if vict1.CheckpointOverhead() != 4*time.Second || vict2.CheckpointOverhead() != 5*time.Second {
+		t.Fatalf("victim overheads %v/%v, want 4s and 5s (both link directions contended)",
 			vict1.CheckpointOverhead(), vict2.CheckpointOverhead())
 	}
 	if rep.DrainWait != 2*time.Second {
 		t.Fatalf("report drain wait %v, want the 2s vict2 queued for the link", rep.DrainWait)
+	}
+	if rep.RestoreWait != time.Second {
+		t.Fatalf("report restore wait %v, want the 1s vict1 queued for the read link", rep.RestoreWait)
 	}
 	for _, j := range rep.Jobs {
 		if j.State != Done {

@@ -23,19 +23,29 @@ import (
 // propertyConfigs enumerates the crossed scheduler configurations.
 func propertyConfigs() []Config {
 	ck, rs := fixedCosts(200*time.Millisecond, 100*time.Millisecond)
+	hs, hr := fixedHostCosts(50*time.Millisecond, 25*time.Millisecond)
 	var cfgs []Config
 	for _, pol := range Policies() {
 		for _, preempt := range []bool{false, true} {
 			for _, quantum := range []time.Duration{0, 5 * time.Second} {
-				cfgs = append(cfgs, Config{
-					Policy:         pol,
-					Preempt:        preempt,
-					Quantum:        quantum,
-					CheckpointCost: ck,
-					RestoreCost:    rs,
-					// TrunkSlowdown stays off: with stretch factor 1
-					// the progress invariant is exact, not approximate.
-				})
+				for _, suspend := range []bool{false, true} {
+					if suspend && !preempt && quantum == 0 {
+						continue // no suspensions ever happen: inert
+					}
+					cfgs = append(cfgs, Config{
+						Policy:          pol,
+						Preempt:         preempt,
+						Quantum:         quantum,
+						SuspendToHost:   suspend,
+						CheckpointCost:  ck,
+						RestoreCost:     rs,
+						HostSuspendCost: hs,
+						HostResumeCost:  hr,
+						// TrunkSlowdown stays off: with stretch factor 1
+						// the progress invariant is exact, not
+						// approximate.
+					})
+				}
 			}
 		}
 	}
@@ -46,7 +56,7 @@ func TestPropertyResidencyCapacityProgress(t *testing.T) {
 	const nodes, count = 32, 200
 	for _, cfg := range propertyConfigs() {
 		cfg := cfg
-		name := fmt.Sprintf("%v/preempt=%v/quantum=%v", cfg.Policy, cfg.Preempt, cfg.Quantum)
+		name := fmt.Sprintf("%v/preempt=%v/quantum=%v/host=%v", cfg.Policy, cfg.Preempt, cfg.Quantum, cfg.SuspendToHost)
 		t.Run(name, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
 				cfg.Cluster = newTestCluster(nodes)
@@ -128,14 +138,17 @@ func TestQuantumDeterminism(t *testing.T) {
 		}
 		a, b := run(cfg, 21), run(cfg, 21)
 		if a.Makespan != b.Makespan || a.AvgWait != b.AvgWait || a.MaxWait != b.MaxWait {
-			t.Fatalf("%v preempt=%v quantum=%v: replay diverged (%v/%v/%v vs %v/%v/%v)",
-				cfg.Policy, cfg.Preempt, cfg.Quantum,
+			t.Fatalf("%v preempt=%v quantum=%v host=%v: replay diverged (%v/%v/%v vs %v/%v/%v)",
+				cfg.Policy, cfg.Preempt, cfg.Quantum, cfg.SuspendToHost,
 				a.Makespan, a.AvgWait, a.MaxWait, b.Makespan, b.AvgWait, b.MaxWait)
 		}
-		if a.SliceEvents != b.SliceEvents || a.PreemptEvents != b.PreemptEvents || a.DrainWait != b.DrainWait {
-			t.Fatalf("%v preempt=%v quantum=%v: suspension accounting diverged (%d/%d/%v vs %d/%d/%v)",
-				cfg.Policy, cfg.Preempt, cfg.Quantum,
-				a.SliceEvents, a.PreemptEvents, a.DrainWait, b.SliceEvents, b.PreemptEvents, b.DrainWait)
+		if a.SliceEvents != b.SliceEvents || a.PreemptEvents != b.PreemptEvents ||
+			a.DrainWait != b.DrainWait || a.RestoreWait != b.RestoreWait ||
+			a.HostSuspends != b.HostSuspends || a.Demotions != b.Demotions {
+			t.Fatalf("%v preempt=%v quantum=%v host=%v: suspension accounting diverged (%d/%d/%v/%v/%d/%d vs %d/%d/%v/%v/%d/%d)",
+				cfg.Policy, cfg.Preempt, cfg.Quantum, cfg.SuspendToHost,
+				a.SliceEvents, a.PreemptEvents, a.DrainWait, a.RestoreWait, a.HostSuspends, a.Demotions,
+				b.SliceEvents, b.PreemptEvents, b.DrainWait, b.RestoreWait, b.HostSuspends, b.Demotions)
 		}
 		byID := make(map[int]*Job, len(b.Jobs))
 		for _, j := range b.Jobs {

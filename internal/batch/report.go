@@ -15,7 +15,13 @@ type Report struct {
 	Policy Policy
 	// Placement is the gang-placement engine that produced it.
 	Placement Placement
-	// Jobs lists every finished job in completion order.
+	// Jobs lists every finished job in completion order. The entries
+	// are insulated copies taken at report time: replaying the same
+	// specs against another scheduler (the clusterctl comparison
+	// pattern) resets the originals' lifecycle fields, but an earlier
+	// report keeps the schedule it measured, so per-job statistics
+	// (AvgWaitUnder, MedianEstimate) stay recomputable after any
+	// number of replays.
 	Jobs []*Job
 	// Makespan is the virtual time from scheduler start to the last
 	// completion.
@@ -28,11 +34,10 @@ type Report struct {
 	AvgWait, MaxWait time.Duration
 	// ShortCut is the median resolved runtime estimate of the run's
 	// jobs, and ShortWait the mean wait of the jobs at or below it —
-	// the short-job population time-slicing exists to help. Both are
-	// captured at report time: Job lifecycle fields are overwritten
-	// when the same specs are replayed against another scheduler (the
-	// clusterctl comparison pattern), so they cannot be recomputed from
-	// Jobs later.
+	// the short-job population time-slicing exists to help. They are
+	// plain conveniences over Jobs: since Jobs holds insulated copies,
+	// MedianEstimate and AvgWaitUnder recompute them identically even
+	// after the specs have been replayed against other schedulers.
 	ShortCut, ShortWait time.Duration
 	// Backfilled counts jobs that jumped a blocked reservation.
 	Backfilled int
@@ -48,10 +53,26 @@ type Report struct {
 	// queued for the shared checkpoint-store link.
 	CheckpointOverhead time.Duration
 	// DrainWait is the total time checkpoint drains spent queued for
-	// the shared store link behind other in-flight drains — the
-	// bandwidth-contention cost of overlapping waves. Zero means every
-	// drain had the link to itself.
+	// the write direction of the shared store link behind other
+	// in-flight transfers — the bandwidth-contention cost of
+	// overlapping waves. Zero means every drain had the link to
+	// itself.
 	DrainWait time.Duration
+	// RestoreWait is the read-direction mirror: total time restores
+	// spent queued behind earlier in-flight restores (and, in
+	// half-duplex mode, drains) — the contention cost of a mass
+	// re-dispatch after a preemption wave or a quantum boundary.
+	RestoreWait time.Duration
+	// HostSuspends counts checkpoint drains that stayed in host RAM
+	// under Config.SuspendToHost, skipping the store round-trip.
+	HostSuspends int
+	// Demotions counts host-resident images evicted to the checkpoint
+	// store because a blocked job needed their pinned memory;
+	// DemotionTime is the store-write time those evictions occupied
+	// the link's write direction (not charged to any job's overhead —
+	// no nodes are held while an image drains out of RAM).
+	Demotions    int
+	DemotionTime time.Duration
 	// UserNodeTime aggregates granted node-time per Job.User — the raw
 	// (undecayed) fair-share accounting view.
 	UserNodeTime map[string]time.Duration
@@ -69,21 +90,34 @@ type Report struct {
 }
 
 // report assembles the Report from the scheduler's terminal state.
+// Finished jobs are copied into the report: the scheduler-owned
+// lifecycle fields of the caller's *Job specs are reset at the next
+// Submit (the replay pattern), and an already-issued report must not
+// see its schedule rewritten under it.
 func (s *Scheduler) report() Report {
+	jobs := make([]*Job, len(s.finished))
+	for i, j := range s.finished {
+		cp := *j
+		jobs[i] = &cp
+	}
 	r := Report{
 		Policy:        s.cfg.Policy,
 		Placement:     s.cfg.Placement,
-		Jobs:          s.finished,
+		Jobs:          jobs,
 		NodeBusy:      s.cfg.Cluster.BusyTimes(),
 		Backfilled:    s.backfills,
 		PreemptEvents: s.preemptEvents,
 		SliceEvents:   s.sliceEvents,
 		DrainWait:     s.drainWait,
+		RestoreWait:   s.restoreWait,
+		HostSuspends:  s.hostSuspends,
+		Demotions:     s.demotions,
+		DemotionTime:  s.demoteTime,
 		UserNodeTime:  make(map[string]time.Duration),
 		AvgFreeFrags:  s.cfg.Cluster.AvgFreeFrags(),
 	}
 	var waitSum time.Duration
-	for _, j := range s.finished {
+	for _, j := range r.Jobs {
 		if j.End > r.Makespan {
 			r.Makespan = j.End
 		}
@@ -199,8 +233,13 @@ func (r Report) String() string {
 	if r.SliceEvents > 0 {
 		fmt.Fprintf(&b, "  timeslice: %d jobs sliced (%d suspensions)\n", r.Sliced, r.SliceEvents)
 	}
-	if r.DrainWait > 0 {
-		fmt.Fprintf(&b, "  drain contention: %v queued for the checkpoint-store link\n", RoundDuration(r.DrainWait))
+	if r.DrainWait > 0 || r.RestoreWait > 0 {
+		fmt.Fprintf(&b, "  store-link contention: drains queued %v (write), restores queued %v (read)\n",
+			RoundDuration(r.DrainWait), RoundDuration(r.RestoreWait))
+	}
+	if r.HostSuspends > 0 {
+		fmt.Fprintf(&b, "  suspend-to-host: %d in-RAM suspensions, %d demoted to store (%v of store writes)\n",
+			r.HostSuspends, r.Demotions, RoundDuration(r.DemotionTime))
 	}
 	if r.Policy == FairShare && len(r.UserNodeTime) > 0 {
 		users := make([]string, 0, len(r.UserNodeTime))

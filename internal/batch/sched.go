@@ -130,6 +130,24 @@ type Config struct {
 	// RestoreCost prices reloading a checkpointed image at the next
 	// dispatch; nil uses DefaultRestoreCost.
 	RestoreCost func(*Job) time.Duration
+	// StoreDuplex selects how the checkpoint store link's read and
+	// write directions share the wire: FullDuplex (the zero value)
+	// gives drains and restores independent timelines; HalfDuplex
+	// serializes both directions on one.
+	StoreDuplex Duplex
+	// SuspendToHost enables the in-memory suspension tier: a victim
+	// whose checkpoint image fits in its nodes' free host memory
+	// suspends into RAM — bus-only drain and resume, no store
+	// round-trip — with the image pinning its footprint on those nodes
+	// until the job resumes or memory pressure demotes the image to
+	// the store (see suspend.go).
+	SuspendToHost bool
+	// HostSuspendCost prices the bus-only drain of a suspend-to-host
+	// checkpoint; nil uses DefaultHostSuspendCost (AGP readback).
+	HostSuspendCost func(*Job) time.Duration
+	// HostResumeCost prices resuming a host-resident image; nil uses
+	// DefaultHostResumeCost (AGP download).
+	HostResumeCost func(*Job) time.Duration
 	// FairShareHalfLife is the virtual-time half-life of per-user usage
 	// decay under the FairShare policy; <= 0 means 30 minutes.
 	FairShareHalfLife time.Duration
@@ -154,8 +172,14 @@ type Scheduler struct {
 	preemptEvents int
 	sliceEvents   int
 	ckptInFlight  int                  // gangs currently draining checkpoints
-	storeFree     time.Duration        // instant the shared checkpoint-store link frees up
-	drainWait     time.Duration        // total time drains queued for the store link
+	link          storeLink            // shared checkpoint-store link (read+write timelines)
+	drainWait     time.Duration        // total time drains queued for the write direction
+	restoreWait   time.Duration        // total time restores queued for the read direction
+	hostSuspends  int                  // drains that stayed in host RAM (suspend-to-host)
+	demotions     int                  // host images evicted to the store on memory pressure
+	demoteTime    time.Duration        // store-write time those evictions occupied the link
+	demoting      []*Job               // host images mid-eviction (reservation held to demoteEnd)
+	pinned        []pin                // migration pins: home RAM held until the outbound write settles
 	usage         map[string]*usage    // per-user decayed accounting (fairshare.go)
 	less          func(a, b *Job) bool // jobLess, bound once (no per-pass closure)
 }
@@ -175,7 +199,14 @@ func New(cfg Config) *Scheduler {
 	if cfg.RestoreCost == nil {
 		cfg.RestoreCost = DefaultRestoreCost
 	}
+	if cfg.HostSuspendCost == nil {
+		cfg.HostSuspendCost = DefaultHostSuspendCost
+	}
+	if cfg.HostResumeCost == nil {
+		cfg.HostResumeCost = DefaultHostResumeCost
+	}
 	s := &Scheduler{cfg: cfg, nextID: 1, usage: make(map[string]*usage)}
+	s.link.duplex = cfg.StoreDuplex
 	s.less = s.jobLess
 	return s
 }
@@ -256,6 +287,10 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.preempts, j.preempting = 0, false
 	j.snapshot = nil
 	j.segStart, j.segRestore, j.segFactor = 0, 0, 1
+	j.readStart, j.readEnd, j.readWait = 0, 0, 0
+	j.hostImage, j.hostDrain, j.forceStore = false, false, false
+	j.hostAlloc = Allocation{}
+	j.demoteEnd = 0
 	j.promise, j.promised = 0, false
 	j.wavePending, j.waveLeft, j.waveFor = false, 0, nil
 	j.sliceEnd, j.sliceFull, j.slicing = false, 0, false
@@ -266,17 +301,24 @@ func (s *Scheduler) Submit(j *Job) error {
 
 // Run drains the queue to completion and returns the report. It may be
 // called again after further submissions; the virtual clock keeps
-// advancing monotonically.
+// advancing monotonically. Events are job completions (including
+// checkpoint drains and quantum boundaries), future arrivals, and
+// demotion settlements — the instants an evicted host image finishes
+// its store write and releases the memory it pinned.
 func (s *Scheduler) Run() Report {
 	for {
+		s.settleDemotions()
 		s.schedulePass()
 		tComplete := time.Duration(-1)
 		if s.running.Len() > 0 {
 			tComplete = s.running[0].End
 		}
-		tArrive, hasArrive := s.pending.nextArrival(s.now)
+		tNext, hasNext := s.pending.nextArrival(s.now)
+		if tDemote, ok := s.nextDemotion(); ok && (!hasNext || tDemote < tNext) {
+			tNext, hasNext = tDemote, true
+		}
 		switch {
-		case tComplete >= 0 && (!hasArrive || tComplete <= tArrive):
+		case tComplete >= 0 && (!hasNext || tComplete <= tNext):
 			s.now = tComplete
 			for s.running.Len() > 0 && s.running[0].End == s.now {
 				j := heap.Pop(&s.running).(*Job)
@@ -286,8 +328,8 @@ func (s *Scheduler) Run() Report {
 				}
 				s.complete(j)
 			}
-		case hasArrive:
-			s.now = tArrive
+		case hasNext:
+			s.now = tNext
 		default:
 			return s.report()
 		}
@@ -324,33 +366,108 @@ func (s *Scheduler) passOnce() bool {
 		if j.arrive > s.now {
 			continue // not yet arrived
 		}
+		if blocked == nil && j.demoteEnd > s.now {
+			// The queue head's image is mid-eviction: it cannot start
+			// before the write settles, but it keeps the shadow
+			// reservation — otherwise a lower-ranked job owns the
+			// shadow for the eviction window and backfills admitted
+			// under that later bound can squat on the head's nodes
+			// far past its settlement. shadowStart models the
+			// settlement events, so the shadow lands at demoteEnd or
+			// the first sufficient capacity after it.
+			if s.cfg.Policy == FIFO {
+				return false
+			}
+			blocked = j
+			shadow = s.shadowStart(j)
+			if !blocked.promised && shadow > s.now {
+				blocked.promise, blocked.promised = shadow, true
+			}
+			continue
+		}
+		if j.demoteEnd > s.now {
+			continue // backfill candidates must be startable now
+		}
 		if blocked == nil {
 			if s.tryStart(j, false, 0, false) {
 				return true
 			}
 			// The head is blocked: preemption (if enabled) begins
-			// checkpointing lower-priority gangs before the shadow is
-			// computed, so the reservation reflects the drained nodes.
+			// checkpointing lower-priority gangs, and memory pressure
+			// (if suspend-to-host is on) begins demoting host images,
+			// before the shadow is computed — so the reservation
+			// reflects the drained nodes.
 			s.preemptFor(j)
+			s.demoteFor(j)
 			if s.cfg.Policy == FIFO {
 				return false // head-of-line blocking
 			}
 			blocked = j
-			shadow = s.shadowStart(j.Nodes, j.memNeed)
-			if !blocked.promised {
+			shadow = s.shadowStart(j)
+			// shadowStart's degenerate fallback is s.now (resident
+			// images nothing is evicting still pin the needed memory);
+			// that is a backfill freeze, not a keepable reservation, so
+			// it is never recorded as the job's promise.
+			if !blocked.promised && shadow > s.now {
 				blocked.promise, blocked.promised = shadow, true
 			}
 			continue
 		}
 		// Backfill: only jobs whose remaining estimate (plus a pending
-		// restore charge) drains before the head's reservation may jump
-		// it (tryStart re-checks with the allocation-dependent trunk
-		// stretch applied).
-		if s.now+j.restoreCost+j.estLeft() <= shadow && s.tryStart(j, true, shadow, true) {
+		// restore charge, including the read-link queue wait) drains
+		// before the head's reservation may jump it (tryStart
+		// re-checks with the allocation-dependent trunk stretch
+		// applied).
+		if s.now+s.restorePrefix(j)+j.estLeft() <= shadow && s.tryStart(j, true, shadow, true) {
 			return true
 		}
 	}
 	return false
+}
+
+// restorePrefix estimates the non-work prefix a dispatch of j right now
+// would carry ahead of its remaining runtime: the pending restore
+// transfer plus, for a store-resident image, the current read-link
+// queue delay. A host-resident image prices its cheap bus-only resume —
+// optimistic if the home nodes turn out taken and the image must
+// migrate over the store path, but tryStart re-checks the real prefix
+// against the reservation per candidate.
+func (s *Scheduler) restorePrefix(j *Job) time.Duration {
+	if j.restoreCost <= 0 {
+		return 0
+	}
+	if j.hostImage {
+		return j.restoreCost
+	}
+	return s.link.readDelay(s.now) + j.restoreCost
+}
+
+// restorePrefixWorst is the pessimistic mirror for reservation slots:
+// a host-resident image is priced at the migration path (outbound
+// write leg, then the store read) in case its home nodes are occupied
+// when the promised instant arrives — the conservative profile's
+// "slot is always long enough" claim has to cover that dispatch too.
+func (s *Scheduler) restorePrefixWorst(j *Job) time.Duration {
+	if j.restoreCost <= 0 {
+		return 0
+	}
+	if !j.hostImage {
+		return s.link.readDelay(s.now) + j.restoreCost
+	}
+	readAvail := s.now + s.link.writeDelay(s.now) + s.storeWriteLeg(j)
+	rStart := readAvail
+	if s.link.readFree > rStart {
+		rStart = s.link.readFree
+	}
+	rc := s.cfg.RestoreCost(j)
+	if rc < 0 {
+		rc = 0
+	}
+	prefix := rStart + rc - s.now
+	if j.restoreCost > prefix {
+		prefix = j.restoreCost
+	}
+	return prefix
 }
 
 // tryStart attempts a gang placement for j at the current instant and,
@@ -364,22 +481,100 @@ func (s *Scheduler) passOnce() bool {
 // hook, may breach the EASY guarantee). Under PlaceFirstFit a single
 // candidate is offered, reproducing the legacy take-it-or-leave-it
 // behavior.
+//
+// A pending restore is priced against the store link's read timeline:
+// the transfer queues behind earlier in-flight restores, the queue
+// wait is charged to the job (and reported as RestoreWait), and the
+// whole prefix — wait plus transfer — rides ahead of the segment's
+// work. A host-resident image resumes bus-only when its home nodes are
+// free and fit it; placed anywhere else it migrates over the store
+// path, paying the full store restore on the read link.
 func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limited bool) bool {
-	if s.cfg.Cluster.FreeNodes() < j.Nodes {
+	c := s.cfg.Cluster
+	if c.FreeNodes() < j.Nodes {
 		return false // cheap precheck before candidate enumeration
 	}
+	if j.hostImage {
+		// The image's memory is j's own to spend: lift the reservation
+		// for the trial so candidates overlapping the home nodes price
+		// the RAM it would vacate.
+		c.unreserve(j.hostAlloc, j.memNeed)
+	}
 	var alloc Allocation
+	var prefix time.Duration   // restore wait + transfer ahead of the work
+	var readCost time.Duration // store-read transfer to book on the link
 	placed := false
-	for _, cand := range s.cfg.Cluster.candidates(j.Nodes, j.memNeed, s.cfg.Placement) {
-		if limited && s.now+j.restoreCost+s.stretched(j.estLeft(), cand.crosses) > limit {
-			continue
+	if j.hostImage && c.freeAndFits(j.hostAlloc, j.memNeed) {
+		// Home resume: bus-only, no link traffic.
+		if !limited || s.now+j.restoreCost+s.stretched(j.estLeft(), j.hostAlloc.CrossesTrunk) <= limit {
+			home := candidate{ranges: j.hostAlloc.Ranges, crosses: j.hostAlloc.CrossesTrunk}
+			alloc = c.commit(home)
+			prefix, placed = j.restoreCost, true
 		}
-		alloc = s.cfg.Cluster.commit(cand)
-		placed = true
-		break
+	}
+	migrate := false
+	var writeLeg time.Duration
+	if !placed {
+		cost := j.restoreCost
+		if j.hostImage {
+			// Migration: the image cannot teleport between nodes — it
+			// drains out of the home RAM over the store's write
+			// direction (the transfer its suspension skipped), then
+			// rides back in as a full store restore on the read side;
+			// a compressed demotion + restore, all charged to the
+			// waiting gang.
+			migrate = true
+			cost = s.cfg.RestoreCost(j)
+			if cost < 0 {
+				cost = 0
+			}
+			writeLeg = s.storeWriteLeg(j)
+		}
+		readAvail := s.now // instant the image is in the store, ready to read
+		if migrate {
+			readAvail += s.link.writeDelay(s.now) + writeLeg
+		}
+		wait := time.Duration(0)
+		if cost > 0 {
+			rStart := readAvail
+			if free := s.link.readFree; free > rStart {
+				rStart = free
+			}
+			wait = rStart - s.now // everything ahead of the read transfer
+		}
+		for _, cand := range c.candidates(j.Nodes, j.memNeed, s.cfg.Placement) {
+			if limited && s.now+wait+cost+s.stretched(j.estLeft(), cand.crosses) > limit {
+				continue
+			}
+			alloc = c.commit(cand)
+			prefix, readCost = wait+cost, cost
+			placed = true
+			break
+		}
 	}
 	if !placed {
+		if j.hostImage {
+			c.reserve(j.hostAlloc, j.memNeed)
+		}
 		return false
+	}
+	j.readStart, j.readEnd, j.readWait = 0, 0, 0
+	readAvail := s.now
+	if migrate {
+		// The home RAM stays pinned until the outbound write settles.
+		wStart := s.link.reserveWrite(s.now, writeLeg)
+		s.drainWait += wStart - s.now
+		c.reserve(j.hostAlloc, j.memNeed)
+		s.pinUntil(j.hostAlloc, j.memNeed, wStart+writeLeg)
+		readAvail = wStart + writeLeg
+	}
+	j.hostImage = false
+	j.hostAlloc = Allocation{}
+	if readCost > 0 {
+		start := s.link.reserveRead(readAvail, readCost)
+		j.readWait = start - readAvail
+		s.restoreWait += j.readWait
+		j.readStart, j.readEnd = start, start+readCost
 	}
 	if backfilled && limited {
 		j.shadow = limit
@@ -410,12 +605,12 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 	if alloc.CrossesTrunk && s.cfg.TrunkSlowdown > 1 {
 		factor = s.cfg.TrunkSlowdown
 	}
-	dur := j.restoreCost + time.Duration(float64(j.workLeft)*factor)
+	dur := prefix + time.Duration(float64(j.workLeft)*factor)
 	if dur < time.Millisecond {
 		dur = time.Millisecond
 	}
-	j.segStart, j.segRestore, j.segFactor = s.now, j.restoreCost, factor
-	j.overhead += j.restoreCost
+	j.segStart, j.segRestore, j.segFactor = s.now, prefix, factor
+	j.overhead += prefix
 	j.restoreCost = 0
 	j.wavePending = false
 	j.End = s.now + dur
@@ -445,18 +640,23 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 // quantum multiple finishes its tail rather than paying a checkpoint,
 // a store-link wait, and a restore to run it later.
 func (s *Scheduler) sliceBoundary(j *Job) {
-	queueDelay := s.storeFree - s.now
-	if queueDelay < 0 {
-		queueDelay = 0
-	}
-	futile := j.sliceFull-s.now <= queueDelay+s.cfg.CheckpointCost(j)
+	futile := j.sliceFull-s.now <= s.drainEstimate(j)
 	if !futile && s.sliceYields(j) {
-		j.sliceEnd, j.slicing = false, true
-		j.rrStamp = s.now // resume after the waiters that outranked us here
-		heap.Push(&s.running, j)
-		s.beginCheckpoint(j)
-		s.fixRunning(j)
-		return
+		// sliceYields may have flipped the suspension to the store
+		// tier (j's in-RAM image would pin the waiter's memory); the
+		// futile rule must then hold at the store tariff too, or the
+		// forced drain frees the nodes later than just running out
+		// the tail would.
+		if j.forceStore && j.sliceFull-s.now <= s.storeDrainEstimate(j) {
+			j.forceStore = false
+		} else {
+			j.sliceEnd, j.slicing = false, true
+			j.rrStamp = s.now // resume after the waiters that outranked us here
+			heap.Push(&s.running, j)
+			s.beginCheckpoint(j)
+			s.fixRunning(j)
+			return
+		}
 	}
 	j.End = j.sliceFull
 	if q := s.cfg.Quantum; s.now+q < j.sliceFull {
@@ -486,6 +686,16 @@ func (s *Scheduler) sliceYields(j *Job) bool {
 		if p.arrive > s.now {
 			continue
 		}
+		if p.demoteEnd > s.now {
+			// Mid-eviction: p cannot start now. Under FIFO it is still
+			// the head, and passOnce will not start anything behind it
+			// — yielding for a lower-ranked waiter would drain a
+			// checkpoint FIFO can never cash in.
+			if s.cfg.Policy == FIFO {
+				return false
+			}
+			continue
+		}
 		if !s.outranksAtBoundary(p, j) {
 			if s.cfg.Policy == FIFO {
 				return false // head-of-line: nothing behind the head can start
@@ -501,13 +711,45 @@ func (s *Scheduler) sliceYields(j *Job) bool {
 				}
 			}
 		}
-		if !s.cfg.Cluster.canPlace(usedNow, p.Nodes, p.memNeed, s.cfg.Placement) &&
-			s.cfg.Cluster.canPlace(usedFreed, p.Nodes, p.memNeed, s.cfg.Placement) {
+		// Both placement probes run with p's own image reservation
+		// lifted (its dispatch spends that memory): counting it would
+		// refuse yields to waiters self-blocked by their image, or
+		// yield for one that could have started without j's nodes.
+		yield := false
+		s.withOwnImageLifted(p, func() {
+			yield = !s.cfg.Cluster.canPlace(usedNow, p.Nodes, p.memNeed, s.cfg.Placement) &&
+				s.yieldAdmits(j, p, usedFreed)
+		})
+		if yield {
 			return true
 		}
 		if s.cfg.Policy == FIFO {
 			return false
 		}
+	}
+	return false
+}
+
+// yieldAdmits reports whether waiter p could be placed once gang j's
+// nodes free at this quantum boundary, accounting for the memory j's
+// own suspend-to-host image would pin on them. When only the image is
+// in the way, j yields to the store tier instead (forceStore) — a
+// suspension whose image immediately blocks the waiter it yielded for
+// would just buy a demotion.
+func (s *Scheduler) yieldAdmits(j, p *Job, usedFreed []bool) bool {
+	c := s.cfg.Cluster
+	if !s.hostEligible(j) {
+		return c.canPlace(usedFreed, p.Nodes, p.memNeed, s.cfg.Placement)
+	}
+	c.reserve(j.Alloc, j.memNeed)
+	ok := c.canPlace(usedFreed, p.Nodes, p.memNeed, s.cfg.Placement)
+	c.unreserve(j.Alloc, j.memNeed)
+	if ok {
+		return true
+	}
+	if c.canPlace(usedFreed, p.Nodes, p.memNeed, s.cfg.Placement) {
+		j.forceStore = true
+		return true
 	}
 	return false
 }
@@ -579,35 +821,83 @@ func (s *Scheduler) stretched(d time.Duration, crosses bool) time.Duration {
 	return d
 }
 
-// shadowStart returns the earliest virtual time a gang of k nodes (each
-// with memNeed bytes) can be placed under the active placement engine,
-// assuming running jobs end on schedule and nothing else starts first —
-// the backfill reservation for a blocked head job. First-fit demands a
-// contiguous window; the topology engine places as soon as enough
-// eligible nodes are free, so its reservations bind sooner.
-func (s *Scheduler) shadowStart(k int, memNeed int64) time.Duration {
-	used := s.cfg.Cluster.usedCopy()
-	if s.cfg.Cluster.canPlace(used, k, memNeed, s.cfg.Placement) {
+// shadowStart returns the earliest virtual time the blocked head job
+// could be placed under the active placement engine, assuming running
+// jobs end on schedule and nothing else starts first — the backfill
+// reservation. Two event kinds free capacity: a running gang's end
+// frees its nodes, and an in-flight demotion's settlement unpins the
+// host memory its image holds; both are replayed in time order, and
+// the head's own resident image is lifted throughout (its dispatch
+// spends it). First-fit demands a contiguous window; the topology
+// engine places as soon as enough eligible nodes are free, so its
+// reservations bind sooner.
+func (s *Scheduler) shadowStart(hd *Job) (shadow time.Duration) {
+	s.withOwnImageLifted(hd, func() { shadow = s.shadowStartLifted(hd) })
+	return shadow
+}
+
+// shadowStartLifted is shadowStart's body, run with the head's own
+// image lifted.
+func (s *Scheduler) shadowStartLifted(hd *Job) time.Duration {
+	k, memNeed := hd.Nodes, hd.memNeed
+	c := s.cfg.Cluster
+	used := c.usedCopy()
+	if c.canPlace(used, k, memNeed, s.cfg.Placement) {
 		return s.now
 	}
-	ends := make([]*Job, len(s.running))
-	copy(ends, s.running)
-	sort.Slice(ends, func(i, j int) bool {
-		if ends[i].End != ends[j].End {
-			return ends[i].End < ends[j].End
+	type shadowEv struct {
+		t     time.Duration
+		r     *Job       // running gang ending (nodes free), or...
+		alloc Allocation // ...a reservation settling (memory unpins):
+		bytes int64      // a demotion write or a migration pin
+	}
+	evs := make([]shadowEv, 0, len(s.running)+len(s.demoting)+len(s.pinned))
+	for _, r := range s.running {
+		evs = append(evs, shadowEv{t: r.End, r: r})
+	}
+	for _, d := range s.demoting {
+		evs = append(evs, shadowEv{t: d.demoteEnd, alloc: d.hostAlloc, bytes: d.memNeed})
+	}
+	for _, p := range s.pinned {
+		evs = append(evs, shadowEv{t: p.at, alloc: p.alloc, bytes: p.bytes})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
 		}
-		return ends[i].ID < ends[j].ID
+		// Completions before settlements at the same instant; within a
+		// kind the stable sort keeps the deterministic source order.
+		return evs[i].r != nil && evs[j].r == nil
 	})
-	for _, r := range ends {
-		for _, nr := range r.Alloc.Ranges {
-			for i := nr.First; i < nr.First+nr.Count; i++ {
-				used[i] = false
-			}
-		}
-		if s.cfg.Cluster.canPlace(used, k, memNeed, s.cfg.Placement) {
-			return r.End
+	// canPlace consults the live reservation table, so settlements are
+	// simulated by lifting reservations in place and restoring them
+	// before returning.
+	var lifted []shadowEv
+	restore := func() {
+		for _, e := range lifted {
+			c.reserve(e.alloc, e.bytes)
 		}
 	}
-	// Unreachable for k <= cluster size: the empty machine always fits.
+	for _, e := range evs {
+		if e.r != nil {
+			for _, nr := range e.r.Alloc.Ranges {
+				for i := nr.First; i < nr.First+nr.Count; i++ {
+					used[i] = false
+				}
+			}
+		} else {
+			c.unreserve(e.alloc, e.bytes)
+			lifted = append(lifted, e)
+		}
+		if c.canPlace(used, k, memNeed, s.cfg.Placement) {
+			restore()
+			return e.t
+		}
+	}
+	restore()
+	// Only reachable when resident images that nothing is evicting pin
+	// the needed memory: fall back to "now", which conservatively
+	// freezes backfill until the next scheduling event (demoteFor has
+	// already evicted whatever would actually unblock the head).
 	return s.now
 }
