@@ -301,6 +301,35 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	b.ReportMetric(jobs*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// BenchmarkBatchThroughputRecorder is BenchmarkBatchThroughput with a
+// MemRecorder attached — the observability tax when lifecycle tracing
+// is on. Compare against the base benchmark (and the schema-3
+// recorder_jobs_per_sec field of BENCH_batch.json) to see what a
+// recorded run costs.
+func BenchmarkBatchThroughputRecorder(b *testing.B) {
+	const jobs = 1000
+	rec := &batch.MemRecorder{}
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		s := batch.New(batch.Config{
+			Cluster:  batch.NewCluster(32, netsim.GigabitSwitch(32)),
+			Policy:   batch.Backfill,
+			Recorder: rec,
+		})
+		for _, j := range batch.SyntheticMix(1, jobs, 32) {
+			if err := s.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep := s.Run()
+		if len(rep.Jobs) != jobs || len(rep.Events) == 0 {
+			b.Fatalf("finished %d of %d jobs, %d events", len(rep.Jobs), jobs, len(rep.Events))
+		}
+		sink = rep
+	}
+	b.ReportMetric(jobs*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // BenchmarkGPUMatVec measures the indirection-texture sparse matvec.
 func BenchmarkGPUMatVec(b *testing.B) {
 	dev := gpu.New(gpu.Config{TextureMemory: 128 << 20})

@@ -19,6 +19,9 @@
 //	clusterctl -placement both                 # compare placement engines too
 //	clusterctl -execute -jobs 8                # actually run the workloads
 //	clusterctl -bench-json BENCH_batch.json    # emit the CI perf snapshot
+//	clusterctl -trace-out run.json             # Perfetto trace of the first run
+//	clusterctl -explain 7                      # why job 7 waited, pass by pass
+//	clusterctl -metrics-out -                  # Prometheus metrics to stdout
 //
 // With -quantum the comparison table gains a run-to-completion EASY
 // baseline row and a short-job wait column (jobs with estimates at or
@@ -27,9 +30,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -44,37 +48,60 @@ type result struct {
 }
 
 func main() {
-	nodes := flag.Int("nodes", 32, "cluster size (the paper's machine had 32 compute nodes)")
-	jobs := flag.Int("jobs", 200, "number of jobs in the synthetic mixed batch")
-	policy := flag.String("policy", "both", "queue policy: fifo, easy, conservative, fairshare, both (fifo+easy), or all")
-	placement := flag.String("placement", "topo", "gang placement: first-fit, topo, or both (compare)")
-	seed := flag.Int64("seed", 42, "workload generator seed")
-	trunk := flag.Float64("trunk-slowdown", 1.1, "runtime multiplier for gangs spanning the stacking trunk")
-	preempt := flag.Bool("preempt", false, "enable priority preemption with checkpoint/restart")
-	quantum := flag.Duration("quantum", 0, "time-slice quantum for gang scheduling (0 disables; e.g. 300s)")
-	suspendToHost := flag.Bool("suspend-to-host", false, "suspend checkpoint images into node RAM when they fit (requires -preempt or -quantum)")
-	storeDuplex := flag.String("store-duplex", "full", "checkpoint-store link mode: full (independent read/write timelines) or half (one shared)")
-	storeBW := flag.Float64("store-bandwidth", 0, "checkpoint-store link bandwidth in MB/s (0 uses the paper's Gigabit model)")
-	tracePath := flag.String("trace", "", "replay an SWF-style workload trace instead of the synthetic mix")
-	execute := flag.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
-	benchJSON := flag.String("bench-json", "", "write a scheduler throughput/makespan snapshot to this file and exit")
-	verbose := flag.Bool("v", false, "print the per-job table")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flags parse from
+// args, reports print to stdout, errors print to stderr, and the return
+// value is the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clusterctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodes := fs.Int("nodes", 32, "cluster size (the paper's machine had 32 compute nodes)")
+	jobs := fs.Int("jobs", 200, "number of jobs in the synthetic mixed batch")
+	policy := fs.String("policy", "both", "queue policy: fifo, easy, conservative, fairshare, both (fifo+easy), or all")
+	placement := fs.String("placement", "topo", "gang placement: first-fit, topo, or both (compare)")
+	seed := fs.Int64("seed", 42, "workload generator seed")
+	trunk := fs.Float64("trunk-slowdown", 1.1, "runtime multiplier for gangs spanning the stacking trunk")
+	preempt := fs.Bool("preempt", false, "enable priority preemption with checkpoint/restart")
+	quantum := fs.Duration("quantum", 0, "time-slice quantum for gang scheduling (0 disables; e.g. 300s)")
+	suspendToHost := fs.Bool("suspend-to-host", false, "suspend checkpoint images into node RAM when they fit (requires -preempt or -quantum)")
+	storeDuplex := fs.String("store-duplex", "full", "checkpoint-store link mode: full (independent read/write timelines) or half (one shared)")
+	storeBW := fs.Float64("store-bandwidth", 0, "checkpoint-store link bandwidth in MB/s (0 uses the paper's Gigabit model)")
+	tracePath := fs.String("trace", "", "replay an SWF-style workload trace instead of the synthetic mix")
+	execute := fs.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
+	benchJSON := fs.String("bench-json", "", "write a scheduler throughput/makespan snapshot to this file and exit")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (ui.perfetto.dev) of the first run to this file")
+	explainID := fs.Int("explain", 0, "print the per-pass blocker breakdown for this job ID after the first run (0 disables)")
+	metricsOut := fs.String("metrics-out", "", "write Prometheus text-format metrics of the first run to this file (- for stdout)")
+	verbose := fs.Bool("v", false, "print the per-job table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "clusterctl: "+format+"\n", a...)
+		return 1
+	}
 
 	if *nodes <= 0 {
-		log.Fatalf("clusterctl: -nodes %d: cluster size must be positive", *nodes)
+		return fail("-nodes %d: cluster size must be positive", *nodes)
 	}
 	if *jobs < 0 {
-		log.Fatalf("clusterctl: -jobs %d: job count must be non-negative", *jobs)
+		return fail("-jobs %d: job count must be non-negative", *jobs)
 	}
 	duplex, err := validateCheckpointFlags(*suspendToHost, *preempt, *quantum, *storeDuplex, *storeBW)
 	if err != nil {
-		log.Fatalf("clusterctl: %v", err)
+		return fail("%v", err)
+	}
+	if *explainID < 0 {
+		return fail("-explain %d: job IDs are positive", *explainID)
 	}
 
 	if *benchJSON != "" {
-		writeBenchJSON(*benchJSON, *nodes, *seed)
-		return
+		if err := writeBenchJSON(stdout, *benchJSON, *nodes, *seed); err != nil {
+			return fail("%v", err)
+		}
+		return 0
 	}
 
 	var policies []batch.Policy
@@ -86,7 +113,7 @@ func main() {
 	default:
 		p, err := batch.ParsePolicy(*policy)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		policies = []batch.Policy{p}
 	}
@@ -94,7 +121,7 @@ func main() {
 	if *placement != "both" {
 		p, err := batch.ParsePlacement(*placement)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		placements = []batch.Placement{p}
 	}
@@ -107,13 +134,16 @@ func main() {
 	if *tracePath != "" {
 		recs, err := batch.LoadTrace(*tracePath)
 		if err != nil {
-			log.Fatal(err)
+			if errors.Is(err, os.ErrNotExist) {
+				return fail("-trace %s: no such file (give the path to an SWF workload trace, e.g. examples/traces/sample.swf)", *tracePath)
+			}
+			return fail("%v", err)
 		}
 		mix, actual = batch.TraceJobs(recs, *nodes)
-		fmt.Printf("clusterctl: replaying %d trace jobs from %s on %d nodes\n\n", len(mix), *tracePath, *nodes)
+		fmt.Fprintf(stdout, "clusterctl: replaying %d trace jobs from %s on %d nodes\n\n", len(mix), *tracePath, *nodes)
 	} else {
 		mix = batch.SyntheticMix(*seed, *jobs, *nodes)
-		fmt.Printf("clusterctl: %d jobs on %d nodes (seed %d)\n\n", *jobs, *nodes, *seed)
+		fmt.Fprintf(stdout, "clusterctl: %d jobs on %d nodes (seed %d)\n\n", *jobs, *nodes, *seed)
 	}
 	if *execute {
 		shrink(mix, *nodes)
@@ -121,6 +151,18 @@ func main() {
 	var ckptCost, restCost func(*batch.Job) time.Duration
 	if *storeBW > 0 {
 		ckptCost, restCost = batch.ScaledStoreCosts(*storeBW)
+	}
+	// Observability attaches to the first run of the grid (with one
+	// policy and one placement — the recommended way to use these
+	// flags — that IS the run): the recorder feeds -trace-out and
+	// -explain, the registry feeds -metrics-out.
+	var rec *batch.MemRecorder
+	if *traceOut != "" || *explainID > 0 {
+		rec = &batch.MemRecorder{}
+	}
+	var reg *batch.Registry
+	if *metricsOut != "" {
+		reg = batch.NewRegistry()
 	}
 	// One config builder serves every run, so a future knob cannot be
 	// wired into the policy grid but silently left off the baseline.
@@ -139,16 +181,17 @@ func main() {
 			RestoreCost:    restCost,
 		}
 	}
-	runMix := func(cfg batch.Config) batch.Report {
+	runMix := func(cfg batch.Config) (batch.Report, error) {
 		s := batch.New(cfg)
 		for _, j := range mix {
 			if err := s.Submit(j); err != nil {
-				log.Fatal(err)
+				return batch.Report{}, err
 			}
 		}
-		return s.Run()
+		return s.Run(), nil
 	}
 	var results []result
+	var firstRep batch.Report                         // the instrumented run's report
 	rtcEasy := make(map[batch.Placement]batch.Report) // run-to-completion baseline under -quantum
 	for _, plc := range placements {
 		for _, pol := range policies {
@@ -156,22 +199,41 @@ func main() {
 			if *execute {
 				cfg.Execute = batch.SimExecutor{TracerParticles: 1000}
 			}
-			rep := runMix(cfg)
-			fmt.Print(rep)
-			if *verbose {
-				printJobs(rep)
+			if len(results) == 0 {
+				// Assign through the nil checks: a typed-nil
+				// *MemRecorder stored in the interface field would
+				// defeat the scheduler's rec != nil fast path.
+				if rec != nil {
+					cfg.Recorder = rec
+				}
+				cfg.Metrics = reg
 			}
-			fmt.Println()
+			rep, err := runMix(cfg)
+			if err != nil {
+				return fail("%v", err)
+			}
+			fmt.Fprint(stdout, rep)
+			if *verbose {
+				printJobs(stdout, rep)
+			}
+			fmt.Fprintln(stdout)
+			if len(results) == 0 {
+				firstRep = rep
+			}
 			results = append(results, result{placement: plc, policy: pol, rep: rep})
 		}
 		if *quantum > 0 {
-			rtcEasy[plc] = runMix(makeConfig(batch.Backfill, plc, 0))
+			rep, err := runMix(makeConfig(batch.Backfill, plc, 0))
+			if err != nil {
+				return fail("%v", err)
+			}
+			rtcEasy[plc] = rep
 		}
 	}
 
 	if len(policies) > 1 || *quantum > 0 {
 		row := func(label string, f, r batch.Report) {
-			fmt.Printf("  %-13s makespan %8v (%s), utilization %5.1f%%, avg wait %8v, short wait %8v, ckpt wait %-11s %d backfilled, %d preempted, %d sliced\n",
+			fmt.Fprintf(stdout, "  %-13s makespan %8v (%s), utilization %5.1f%%, avg wait %8v, short wait %8v, ckpt wait %-11s %d backfilled, %d preempted, %d sliced\n",
 				label, batch.RoundDuration(r.Makespan), gain(f.Makespan, r.Makespan),
 				100*r.Utilization, batch.RoundDuration(r.AvgWait),
 				batch.RoundDuration(r.ShortWait), ckptWaitCol(r)+",",
@@ -179,7 +241,7 @@ func main() {
 		}
 		for _, plc := range placements {
 			f := find(results, plc, policies[0])
-			fmt.Printf("policy comparison (placement %s, baseline %s; short = est <= %v):\n",
+			fmt.Fprintf(stdout, "policy comparison (placement %s, baseline %s; short = est <= %v):\n",
 				plc, policies[0], batch.RoundDuration(f.ShortCut))
 			for _, pol := range policies {
 				row(pol.String(), f, find(results, plc, pol))
@@ -192,7 +254,7 @@ func main() {
 						continue
 					}
 					r := find(results, plc, pol)
-					fmt.Printf("  timeslice quantum %v vs run-to-completion easy: short-job avg wait %v -> %v (%s)\n",
+					fmt.Fprintf(stdout, "  timeslice quantum %v vs run-to-completion easy: short-job avg wait %v -> %v (%s)\n",
 						*quantum, batch.RoundDuration(base.ShortWait),
 						batch.RoundDuration(r.ShortWait),
 						gain(base.ShortWait, r.ShortWait))
@@ -204,18 +266,66 @@ func main() {
 		for _, pol := range policies {
 			ff := find(results, batch.PlaceFirstFit, pol)
 			tp := find(results, batch.PlaceTopo, pol)
-			fmt.Printf("policy %s, topo vs first-fit: makespan %v -> %v (%s), utilization %.1f%% -> %.1f%%, trunk-crossing gangs %d -> %d, split gangs %d\n",
+			fmt.Fprintf(stdout, "policy %s, topo vs first-fit: makespan %v -> %v (%s), utilization %.1f%% -> %.1f%%, trunk-crossing gangs %d -> %d, split gangs %d\n",
 				pol, batch.RoundDuration(ff.Makespan), batch.RoundDuration(tp.Makespan),
 				gain(ff.Makespan, tp.Makespan),
 				100*ff.Utilization, 100*tp.Utilization,
 				ff.TrunkCrossed, tp.TrunkCrossed, tp.SplitGangs)
 		}
 	}
-	for _, r := range results {
-		if r.rep.Failed > 0 {
-			os.Exit(1)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail("-trace-out: %v", err)
+		}
+		werr := firstRep.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fail("-trace-out %s: %v", *traceOut, werr)
+		}
+		fmt.Fprintf(stdout, "clusterctl: wrote Chrome trace %s (%d events; open in ui.perfetto.dev)\n",
+			*traceOut, len(firstRep.Events))
+	}
+	if *explainID > 0 {
+		e := firstRep.Explain(*explainID)
+		fmt.Fprintln(stdout, e)
+		if dom := e.Dominant(); dom != batch.ReasonNone {
+			fmt.Fprintf(stdout, "  dominant blocker: %s\n", dom)
 		}
 	}
+	if *metricsOut != "" {
+		w := stdout
+		var f *os.File
+		if *metricsOut != "-" {
+			f, err = os.Create(*metricsOut)
+			if err != nil {
+				return fail("-metrics-out: %v", err)
+			}
+			w = f
+		}
+		werr := reg.WritePrometheus(w)
+		if f != nil {
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil {
+			return fail("-metrics-out %s: %v", *metricsOut, werr)
+		}
+		if f != nil {
+			fmt.Fprintf(stdout, "clusterctl: wrote Prometheus metrics %s\n", *metricsOut)
+		}
+	}
+
+	for _, r := range results {
+		if r.rep.Failed > 0 {
+			return 1
+		}
+	}
+	return 0
 }
 
 // benchSnapshot is the BENCH_batch.json schema: scheduler throughput on
@@ -223,7 +333,10 @@ func main() {
 // since schema 2 — the checkpoint cost model's trajectory: store-link
 // queue waits (drain + restore) and total checkpoint overhead from a
 // contended preempt+quantum run per policy, with and without the
-// suspend-to-host tier.
+// suspend-to-host tier. Schema 3 adds the observability tax: the same
+// throughput queue drained with a MemRecorder attached, so a recorder
+// regression shows up next to the baseline it is promised to track
+// within a few percent.
 type benchSnapshot struct {
 	Schema        int                `json:"schema"`
 	Nodes         int                `json:"nodes"`
@@ -231,6 +344,9 @@ type benchSnapshot struct {
 	BenchJobs     int                `json:"bench_jobs"`
 	WallMS        float64            `json:"wall_ms"`
 	JobsPerSec    float64            `json:"jobs_per_sec"`
+	RecWallMS     float64            `json:"recorder_wall_ms"`
+	RecJobsPerSec float64            `json:"recorder_jobs_per_sec"`
+	RecEvents     int                `json:"recorder_events"`
 	MixJobs       int                `json:"mix_jobs"`
 	MakespanMS    map[string]float64 `json:"makespan_ms"`
 	AvgWaitMS     map[string]float64 `json:"avg_wait_ms"`
@@ -242,12 +358,12 @@ type benchSnapshot struct {
 }
 
 // writeBenchJSON measures scheduling throughput (jobs/s through a
-// 1000-job EASY queue, wall clock), the default-mix schedule quality
-// under each policy, and the contended checkpoint cost model
-// (preempt + 300s quantum, default perfmodel prices), then writes the
-// snapshot for the CI artifact.
-func writeBenchJSON(path string, nodes int, seed int64) {
-	run := func(pol batch.Policy, count int, preempt bool, quantum time.Duration, suspend bool) (batch.Report, time.Duration) {
+// 1000-job EASY queue, wall clock, with and without a recorder
+// attached), the default-mix schedule quality under each policy, and
+// the contended checkpoint cost model (preempt + 300s quantum, default
+// perfmodel prices), then writes the snapshot for the CI artifact.
+func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error {
+	run := func(pol batch.Policy, count int, preempt bool, quantum time.Duration, suspend bool, rec batch.Recorder) (batch.Report, time.Duration, error) {
 		s := batch.New(batch.Config{
 			Cluster:       batch.NewCluster(nodes, netsim.GigabitSwitch(nodes)),
 			Policy:        pol,
@@ -255,6 +371,7 @@ func writeBenchJSON(path string, nodes int, seed int64) {
 			Preempt:       preempt,
 			Quantum:       quantum,
 			SuspendToHost: suspend,
+			Recorder:      rec,
 		})
 		// The throughput/makespan rows replay the classic all-at-once
 		// mix; the contended checkpoint rows need staggered arrivals,
@@ -265,22 +382,33 @@ func writeBenchJSON(path string, nodes int, seed int64) {
 		}
 		for _, j := range jobs {
 			if err := s.Submit(j); err != nil {
-				log.Fatal(err)
+				return batch.Report{}, 0, err
 			}
 		}
 		t0 := time.Now()
 		rep := s.Run()
-		return rep, time.Since(t0)
+		return rep, time.Since(t0), nil
 	}
 	const benchJobs = 1000
-	_, wall := run(batch.Backfill, benchJobs, false, 0, false)
+	_, wall, err := run(batch.Backfill, benchJobs, false, 0, false, nil)
+	if err != nil {
+		return err
+	}
+	recSink := &batch.MemRecorder{}
+	recRep, recWall, err := run(batch.Backfill, benchJobs, false, 0, false, recSink)
+	if err != nil {
+		return err
+	}
 	snap := benchSnapshot{
-		Schema:        2,
+		Schema:        3,
 		Nodes:         nodes,
 		Seed:          seed,
 		BenchJobs:     benchJobs,
 		WallMS:        float64(wall.Microseconds()) / 1e3,
 		JobsPerSec:    benchJobs / wall.Seconds(),
+		RecWallMS:     float64(recWall.Microseconds()) / 1e3,
+		RecJobsPerSec: benchJobs / recWall.Seconds(),
+		RecEvents:     len(recRep.Events),
 		MixJobs:       200,
 		MakespanMS:    map[string]float64{},
 		AvgWaitMS:     map[string]float64{},
@@ -292,29 +420,39 @@ func writeBenchJSON(path string, nodes int, seed int64) {
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	for _, pol := range batch.Policies() {
-		rep, _ := run(pol, snap.MixJobs, false, 0, false)
+		rep, _, err := run(pol, snap.MixJobs, false, 0, false, nil)
+		if err != nil {
+			return err
+		}
 		snap.MakespanMS[pol.String()] = ms(rep.Makespan)
 		snap.AvgWaitMS[pol.String()] = ms(rep.AvgWait)
 		snap.Utilization[pol.String()] = rep.Utilization
 		// The contended run drives both store-link directions; the
 		// suspend-to-host rerun records what the RAM tier saves.
-		ckpt, _ := run(pol, snap.MixJobs, true, 300*time.Second, false)
+		ckpt, _, err := run(pol, snap.MixJobs, true, 300*time.Second, false, nil)
+		if err != nil {
+			return err
+		}
 		snap.DrainWaitMS[pol.String()] = ms(ckpt.DrainWait)
 		snap.RestoreWaitMS[pol.String()] = ms(ckpt.RestoreWait)
 		snap.CkptOverhead[pol.String()] = ms(ckpt.CheckpointOverhead + ckpt.DemotionTime)
-		host, _ := run(pol, snap.MixJobs, true, 300*time.Second, true)
+		host, _, err := run(pol, snap.MixJobs, true, 300*time.Second, true, nil)
+		if err != nil {
+			return err
+		}
 		snap.HostCkptOver[pol.String()] = ms(host.CheckpointOverhead + host.DemotionTime)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("clusterctl: wrote %s (%.0f jobs/s scheduling throughput, easy makespan %.0f ms)\n",
-		path, snap.JobsPerSec, snap.MakespanMS["easy"])
+	fmt.Fprintf(stdout, "clusterctl: wrote %s (%.0f jobs/s scheduling throughput, %.0f with recorder, easy makespan %.0f ms)\n",
+		path, snap.JobsPerSec, snap.RecJobsPerSec, snap.MakespanMS["easy"])
+	return nil
 }
 
 // find returns the report for one (placement, policy) run.
@@ -392,8 +530,8 @@ func shrink(jobs []*batch.Job, clusterNodes int) {
 	}
 }
 
-func printJobs(rep batch.Report) {
-	fmt.Printf("  %-4s %-10s %-6s %-5s %-6s %-5s %-9s %-9s %-9s %s\n",
+func printJobs(w io.Writer, rep batch.Report) {
+	fmt.Fprintf(w, "  %-4s %-10s %-6s %-5s %-6s %-5s %-9s %-9s %-9s %s\n",
 		"id", "name", "user", "kind", "nodes", "prio", "wait", "runtime", "state", "detail")
 	for _, j := range rep.Jobs {
 		mark := ""
@@ -409,7 +547,7 @@ func printJobs(rep batch.Report) {
 		if !j.Alloc.Contiguous() {
 			mark += " *split"
 		}
-		fmt.Printf("  %-4d %-10s %-6s %-5s %-6d %-5d %-9v %-9v %-9s %s%s\n",
+		fmt.Fprintf(w, "  %-4d %-10s %-6s %-5s %-6d %-5d %-9v %-9v %-9s %s%s\n",
 			j.ID, j.Name, j.User, j.Kind, j.Nodes, j.Priority,
 			batch.RoundDuration(j.Wait()), batch.RoundDuration(j.Runtime()),
 			j.State, j.Detail, mark)

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -39,6 +43,114 @@ func TestValidateCheckpointFlags(t *testing.T) {
 			t.Errorf("%s: unexpected error: %v", tc.name, err)
 		} else if d != tc.want {
 			t.Errorf("%s: duplex %v, want %v", tc.name, d, tc.want)
+		}
+	}
+}
+
+func TestRunMissingTraceFriendlyError(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-trace", "nonexistent.swf"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	msg := errw.String()
+	if !strings.Contains(msg, "nonexistent.swf") || !strings.Contains(msg, "no such file") {
+		t.Fatalf("stderr is not the friendly message: %q", msg)
+	}
+	if strings.Contains(msg, "%!") {
+		t.Fatalf("mangled format verb in %q", msg)
+	}
+}
+
+// TestRunPlainTraceReplay pins the un-instrumented path: no
+// observability flag means no recorder reaches the scheduler (a
+// typed-nil *MemRecorder in the interface field once crashed it).
+func TestRunPlainTraceReplay(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-trace", "../../examples/traces/sample.swf", "-policy", "easy", "-preempt"},
+		&out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "policy easy") {
+		t.Fatalf("report missing from stdout:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlagExitCode(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code %d, want 2 for a flag parse error", code)
+	}
+	if code := run([]string{"-explain", "-3"}, &out, &errw); code != 1 {
+		t.Fatalf("exit code %d, want 1 for a negative -explain", code)
+	}
+}
+
+// TestRunObservabilityOutputs drives the acceptance command end to end:
+// a sample-trace run must emit a valid Chrome trace, a per-pass blocker
+// breakdown, and a Prometheus metrics file.
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var out, errw strings.Builder
+	code := run([]string{
+		"-trace", "../../examples/traces/sample.swf",
+		"-policy", "easy", "-preempt",
+		"-trace-out", tracePath,
+		"-explain", "4",
+		"-metrics-out", metricsPath,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("-trace-out is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("-trace-out emitted no trace events")
+	}
+	pids := map[float64]bool{}
+	for _, ev := range trace.TraceEvents {
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	for _, pid := range []float64{1, 2, 3} {
+		if !pids[pid] {
+			t.Fatalf("trace lacks track pid %v (want jobs, nodes, store link)", pid)
+		}
+	}
+
+	stdout := out.String()
+	if !strings.Contains(stdout, "job 4: blocked on") {
+		t.Fatalf("stdout lacks the -explain breakdown:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "dominant blocker:") {
+		t.Fatalf("stdout lacks the dominant blocker line:\n%s", stdout)
+	}
+
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE batch_jobs_submitted_total counter",
+		"batch_jobs_completed_total",
+		"batch_job_wait_seconds_bucket",
+		`policy="easy"`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("-metrics-out missing %q:\n%s", want, prom)
 		}
 	}
 }

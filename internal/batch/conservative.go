@@ -135,6 +135,7 @@ func (p *profile) earliest(d time.Duration, limit int) time.Duration {
 func (s *Scheduler) conservativePass() bool {
 	prof := s.buildProfile()
 	size := s.cfg.Cluster.Size()
+	pass := s.beginPass()
 	head := true
 	jumped := false // an earlier job is held to a future reservation
 	for _, j := range s.pending.ordered(s.less) {
@@ -172,13 +173,14 @@ func (s *Scheduler) conservativePass() bool {
 		}
 		if head {
 			before := s.ckptInFlight
-			s.preemptFor(j)
+			out := s.preemptFor(j)
 			if s.ckptInFlight > before {
 				// Checkpoints just began draining: the profile no
 				// longer reflects the rewritten completion events, so
 				// re-plan at the drain. A wave already in flight from
 				// an earlier event does NOT abort the pass — its drain
 				// ends are in the profile and backfill goes on.
+				s.explainHead(pass, j, out)
 				return false
 			}
 			// Memory pressure: a head blocked on suspended images (not
@@ -186,6 +188,11 @@ func (s *Scheduler) conservativePass() bool {
 			// profile needs no re-plan — demotions change memory
 			// availability at their settlement, not completion events.
 			s.demoteFor(j)
+			if s.rec != nil {
+				s.explainConservative(pass, j, t, out, true)
+			}
+		} else if s.rec != nil {
+			s.explainConservative(pass, j, t, preemptOff, false)
 		}
 		head = false
 		if t > s.now && !j.promised {
@@ -195,4 +202,21 @@ func (s *Scheduler) conservativePass() bool {
 		jumped = true
 	}
 	return false
+}
+
+// explainConservative classifies one planned-but-not-started job in a
+// conservative pass: held to its eviction settlement, held to a future
+// reservation, or refused at an immediate slot (then the head's
+// preemption outcome or the placement probe names the blocker).
+func (s *Scheduler) explainConservative(pass int, j *Job, t time.Duration, out preemptOutcome, head bool) {
+	switch {
+	case t > s.now && t == j.demoteEnd:
+		s.explain(pass, j, ReasonEvicting, t)
+	case t > s.now:
+		s.explain(pass, j, ReasonReservation, t)
+	case head:
+		s.explainHead(pass, j, out)
+	default:
+		s.explain(pass, j, s.classifyStart(j), 0)
+	}
 }

@@ -1,0 +1,261 @@
+package batch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Decision explainability: with a Recorder attached, every scheduling
+// pass records one EvBlocked event per queued, arrived job it scanned
+// and skipped, classified by the obstacle that actually applied at
+// that instant. The classification runs only when a recorder is
+// attached — the hot path with observability off never pays for it —
+// and reads the same state the scheduling decision just read, so the
+// recorded reason is the decision's reason, not a reconstruction.
+
+// BlockReason classifies why a queued job did not start on a pass.
+type BlockReason int
+
+const (
+	// ReasonNone is the zero value; it never appears in the stream.
+	ReasonNone BlockReason = iota
+	// ReasonHeadOfLine: under FIFO only the queue head may start, and
+	// the head is blocked ahead of this job.
+	ReasonHeadOfLine
+	// ReasonNoPlacement: no candidate node set seats the gang — not
+	// enough free nodes, or free nodes the engine cannot assemble
+	// (first-fit contiguity).
+	ReasonNoPlacement
+	// ReasonMemoryPinned: free nodes exist for the gang, but
+	// suspended-to-host images pin their memory below the job's
+	// per-node footprint.
+	ReasonMemoryPinned
+	// ReasonShadow: a backfill candidate whose remaining estimate
+	// (plus restore charges) would overrun the blocked head's
+	// reservation.
+	ReasonShadow
+	// ReasonLinkBusy: the candidate fits the shadow on transfer cost
+	// alone, but the store link's queue delay ahead of its restore
+	// pushes it past the reservation.
+	ReasonLinkBusy
+	// ReasonFutileCheckpoint: preemption found victims, but each would
+	// finish (or yield) before its contended checkpoint drain would,
+	// so suspending them frees nothing sooner.
+	ReasonFutileCheckpoint
+	// ReasonAntiThrash: lower-priority gangs are running, but the
+	// discipline order ranks them ahead of this job (fair-share's
+	// anti-thrash rule), so preemption refuses to evict them.
+	ReasonAntiThrash
+	// ReasonWaveDraining: a preemption wave is draining on this job's
+	// behalf — it waits for its victims' checkpoints to land.
+	ReasonWaveDraining
+	// ReasonEvicting: the job's own host image is mid-eviction; it
+	// cannot start before the write settles.
+	ReasonEvicting
+	// ReasonReservation: the conservative profile holds this job to a
+	// reserved future slot (From on the event is the reserved start).
+	ReasonReservation
+	numBlockReasons
+)
+
+func (r BlockReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonHeadOfLine:
+		return "head-of-line"
+	case ReasonNoPlacement:
+		return "no-placement"
+	case ReasonMemoryPinned:
+		return "memory-pinned"
+	case ReasonShadow:
+		return "shadow"
+	case ReasonLinkBusy:
+		return "link-busy"
+	case ReasonFutileCheckpoint:
+		return "futile-checkpoint"
+	case ReasonAntiThrash:
+		return "anti-thrash"
+	case ReasonWaveDraining:
+		return "wave-draining"
+	case ReasonEvicting:
+		return "evicting"
+	case ReasonReservation:
+		return "reserved"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// beginPass numbers a scheduling pass for EvBlocked events. The
+// counter advances whether or not a recorder is attached, so pass
+// numbers stay comparable when one is attached mid-study.
+func (s *Scheduler) beginPass() int {
+	s.passes++
+	if s.met != nil {
+		s.met.passes.Inc()
+	}
+	return s.passes
+}
+
+// explain records one EvBlocked event; at carries the shadow or
+// reservation bound when one applies (zero otherwise). Callers on the
+// hot path guard with s.rec != nil before doing any classification
+// work; the guard here keeps misuse harmless.
+func (s *Scheduler) explain(pass int, j *Job, reason BlockReason, at time.Duration) {
+	if s.rec == nil {
+		return
+	}
+	s.record(Event{Time: s.now, Kind: EvBlocked, Job: j.ID, Pass: pass, Reason: reason, From: at})
+}
+
+// explainRest records ReasonHeadOfLine for every arrived job in rest —
+// the FIFO tail behind a blocked head.
+func (s *Scheduler) explainRest(pass int, rest []*Job) {
+	if s.rec == nil {
+		return
+	}
+	for _, j := range rest {
+		if j.arrive > s.now {
+			continue
+		}
+		s.explain(pass, j, ReasonHeadOfLine, 0)
+	}
+}
+
+// explainHead classifies a blocked queue head: the preemption outcome
+// wins when it names a specific guard (a wave it is waiting on, the
+// futile-checkpoint rule, fair-share anti-thrash); otherwise the
+// placement probe decides.
+func (s *Scheduler) explainHead(pass int, j *Job, out preemptOutcome) {
+	if s.rec == nil {
+		return
+	}
+	var reason BlockReason
+	switch out {
+	case preemptWave, preemptBarred:
+		reason = ReasonWaveDraining
+	case preemptFutile:
+		reason = ReasonFutileCheckpoint
+	case preemptAntiThrash:
+		reason = ReasonAntiThrash
+	default:
+		reason = s.classifyStart(j)
+	}
+	s.explain(pass, j, reason, 0)
+}
+
+// explainBackfillFail classifies a backfill candidate that was offered
+// the machine and refused: either no placement seats it at all, its
+// memory is pinned by resident images, or every placement fits but
+// overruns the head's reservation — with the link-queue delay split
+// out from the pure shadow violation.
+func (s *Scheduler) explainBackfillFail(pass int, j *Job, shadow time.Duration) {
+	if s.rec == nil {
+		return
+	}
+	reason := s.classifyStart(j)
+	if reason == ReasonShadow {
+		reason = s.shadowOrLinkBusy(j, shadow)
+	}
+	s.explain(pass, j, reason, shadow)
+}
+
+// shadowOrLinkBusy refines a shadow violation: when the candidate
+// would fit the reservation if its restore skipped the store link's
+// queue, the link is the binding constraint.
+func (s *Scheduler) shadowOrLinkBusy(j *Job, shadow time.Duration) BlockReason {
+	if j.restoreCost > 0 && s.restorePrefix(j) > j.restoreCost &&
+		s.now+j.restoreCost+j.estLeft() <= shadow {
+		return ReasonLinkBusy
+	}
+	return ReasonShadow
+}
+
+// classifyStart explains a failed placement attempt at the current
+// instant: distinguishes "no node set seats the gang" from "free nodes
+// exist but suspended images pin the memory" from "placeable, so
+// something else (a backfill limit) refused it". Runs the same
+// placement probe the decision ran, with the job's own image lifted.
+func (s *Scheduler) classifyStart(j *Job) BlockReason {
+	c := s.cfg.Cluster
+	reason := ReasonNoPlacement
+	s.withOwnImageLifted(j, func() {
+		used := c.usedCopy()
+		switch {
+		case c.canPlace(used, j.Nodes, j.memNeed, s.cfg.Placement):
+			reason = ReasonShadow
+		case c.placeableIgnoringMemory(used, j.Nodes, s.cfg.Placement):
+			reason = ReasonMemoryPinned
+		}
+	})
+	return reason
+}
+
+// BlockCount is one reason's share of a job's blocked passes.
+type BlockCount struct {
+	Reason BlockReason
+	Passes int
+}
+
+// Explanation aggregates a job's EvBlocked events: how many passes
+// scanned and skipped it, split by reason.
+type Explanation struct {
+	// JobID is the explained job.
+	JobID int
+	// BlockedPasses is the total number of passes that skipped the job.
+	BlockedPasses int
+	// Counts lists the per-reason pass counts, most frequent first
+	// (ties broken by reason order, so the split is deterministic).
+	Counts []BlockCount
+}
+
+// Dominant returns the most frequent blocker, or ReasonNone for a job
+// never blocked.
+func (e Explanation) Dominant() BlockReason {
+	if len(e.Counts) == 0 {
+		return ReasonNone
+	}
+	return e.Counts[0].Reason
+}
+
+// String renders the per-pass blocker breakdown.
+func (e Explanation) String() string {
+	if e.BlockedPasses == 0 {
+		return fmt.Sprintf("job %d: never blocked (started on first eligible pass)", e.JobID)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %d: blocked on %d scheduler passes:", e.JobID, e.BlockedPasses)
+	for _, c := range e.Counts {
+		fmt.Fprintf(&b, " %s=%d", c.Reason, c.Passes)
+	}
+	return b.String()
+}
+
+// ExplainEvents aggregates the EvBlocked events concerning one job.
+func ExplainEvents(events []Event, jobID int) Explanation {
+	var counts [numBlockReasons]int
+	total := 0
+	for _, ev := range events {
+		if ev.Kind != EvBlocked || ev.Job != jobID {
+			continue
+		}
+		counts[ev.Reason]++
+		total++
+	}
+	e := Explanation{JobID: jobID, BlockedPasses: total}
+	for r, n := range counts {
+		if n > 0 {
+			e.Counts = append(e.Counts, BlockCount{Reason: BlockReason(r), Passes: n})
+		}
+	}
+	sort.SliceStable(e.Counts, func(i, k int) bool { return e.Counts[i].Passes > e.Counts[k].Passes })
+	return e
+}
+
+// Explain aggregates the report's blocked-pass record for one job —
+// empty (never blocked) when no recorder was attached to the run.
+func (r Report) Explain(jobID int) Explanation {
+	return ExplainEvents(r.Events, jobID)
+}

@@ -51,6 +51,9 @@ func (s *Scheduler) chargeUsage(u string, nodeTime time.Duration) {
 	}
 	a.val = a.val*math.Exp2(-float64(s.now-a.at)/float64(s.halfLife())) + nodeTime.Seconds()
 	a.at = s.now
+	if s.met != nil {
+		s.met.usageGauge(u).Set(a.val)
+	}
 	if s.cfg.Policy == FairShare {
 		s.pending.dirty = true
 	}

@@ -78,6 +78,15 @@ func (l *storeLink) readDelay(now time.Duration) time.Duration {
 	return 0
 }
 
+// backlog returns how far each direction's timeline extends past now —
+// the store-link busy depth the metrics layer publishes as the
+// write/read backlog gauges. Unlike writeDelay/readDelay it returns
+// both directions in one call, since the gauges are always sampled
+// together at the end of a scheduling round.
+func (l *storeLink) backlog(now time.Duration) (write, read time.Duration) {
+	return l.writeDelay(now), l.readDelay(now)
+}
+
 // reserveWrite books a drain (or demotion) transfer of the given cost
 // and returns the instant it starts; the write timeline advances to its
 // end, and in half-duplex mode the read timeline advances with it.

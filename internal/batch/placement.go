@@ -347,3 +347,12 @@ func (c *Cluster) canPlace(used []bool, k int, need int64, pol Placement) bool {
 	}
 	return false
 }
+
+// placeableIgnoringMemory is canPlace with the memory constraint
+// dropped: it separates "no node set seats the gang" from "nodes
+// exist, but suspended images pin their memory" — the distinction the
+// decision-explanation layer records (ReasonNoPlacement vs
+// ReasonMemoryPinned in explain.go).
+func (c *Cluster) placeableIgnoringMemory(used []bool, k int, pol Placement) bool {
+	return c.canPlace(used, k, 0, pol)
+}

@@ -107,6 +107,34 @@ func ScaledStoreCosts(mbps float64) (ckpt, restore func(*Job) time.Duration) {
 		func(j *Job) time.Duration { return leg(j) + DefaultHostResumeCost(j) }
 }
 
+// preemptOutcome reports what preemptFor did (or why it did nothing)
+// for a blocked job — the input the decision-explanation layer uses to
+// name the head's blocker without re-deriving the preemption logic.
+type preemptOutcome int
+
+const (
+	// preemptOff: preemption is disabled in the config.
+	preemptOff preemptOutcome = iota
+	// preemptBarred: the job's own earlier wave is still draining.
+	preemptBarred
+	// preemptNoVictims: no running gang has strictly lower priority and
+	// ranks behind the job in the discipline order.
+	preemptNoVictims
+	// preemptAntiThrash: lower-priority gangs are running, but every
+	// one ranks ahead of the job in the discipline order (fair-share's
+	// anti-thrash rule), so none may be evicted.
+	preemptAntiThrash
+	// preemptFutile: eligible victims exist, but each would yield its
+	// nodes before its contended checkpoint drain would finish.
+	preemptFutile
+	// preemptNotAdmitted: a wave was attempted but even suspending
+	// every eligible gang would not seat the job.
+	preemptNotAdmitted
+	// preemptWave: a wave launched; the job now waits for its victims'
+	// checkpoints to land.
+	preemptWave
+)
+
 // preemptFor suspends the cheapest sufficient set of running gangs so
 // the blocked job j can be placed once their checkpoints drain. A
 // victim must have strictly lower priority AND rank behind j in the
@@ -121,10 +149,14 @@ func ScaledStoreCosts(mbps float64) (ckpt, restore func(*Job) time.Duration) {
 // only a job whose *own* wave is still in flight is barred from
 // triggering another (wavePending, cleared when the last of its
 // victims finishes draining), so one blocked head cannot pile wave
-// upon wave for the same placement.
-func (s *Scheduler) preemptFor(j *Job) {
-	if !s.cfg.Preempt || j.wavePending {
-		return
+// upon wave for the same placement. The returned outcome feeds the
+// decision-explanation layer.
+func (s *Scheduler) preemptFor(j *Job) preemptOutcome {
+	if !s.cfg.Preempt {
+		return preemptOff
+	}
+	if j.wavePending {
+		return preemptBarred
 	}
 	// Victim order: lowest priority first, then the segment with the
 	// least elapsed work (cheapest to abandon), then highest ID.
@@ -136,17 +168,29 @@ func (s *Scheduler) preemptFor(j *Job) {
 	// running, and checkpointing it buys nothing. A suspend-to-host
 	// drain skips the link entirely, so only its bus readback counts.
 	var cands []*Job
+	thrash, futile := 0, 0
 	for _, r := range s.running {
-		if r.preempting || r.Priority >= j.Priority || !s.less(j, r) {
+		if r.preempting || r.Priority >= j.Priority {
+			continue
+		}
+		if !s.less(j, r) {
+			thrash++
 			continue
 		}
 		if r.End-s.now <= s.drainEstimate(r) {
+			futile++
 			continue
 		}
 		cands = append(cands, r)
 	}
 	if len(cands) == 0 {
-		return
+		switch {
+		case futile > 0:
+			return preemptFutile
+		case thrash > 0:
+			return preemptAntiThrash
+		}
+		return preemptNoVictims
 	}
 	sort.Slice(cands, func(i, k int) bool {
 		a, b := cands[i], cands[k]
@@ -237,7 +281,7 @@ func (s *Scheduler) preemptFor(j *Job) {
 		for _, v := range victims {
 			v.forceStore = false
 		}
-		return // even suspending every eligible gang would not admit j
+		return preemptNotAdmitted // even suspending every eligible gang would not admit j
 	}
 	j.wavePending = true
 	j.waveLeft = int32(len(victims))
@@ -246,6 +290,7 @@ func (s *Scheduler) preemptFor(j *Job) {
 		s.beginCheckpoint(v)
 		s.fixRunning(v)
 	}
+	return preemptWave
 }
 
 // beginCheckpoint banks the victim's progress, schedules its drain —
@@ -295,6 +340,9 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 				s.restoreWait -= refund
 			}
 			s.link.releaseRead(v.readStart, v.readEnd, s.now)
+			if s.rec != nil {
+				s.record(Event{Time: s.now, Kind: EvStoreRead, Job: v.ID, From: v.readStart, To: s.now, Detail: "cancel"})
+			}
 		}
 		elapsed = 0
 	}
@@ -321,6 +369,9 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 		}
 		start = s.link.reserveWrite(s.now, cost)
 		s.drainWait += start - s.now
+		if s.met != nil {
+			s.met.drainWait.Observe((start - s.now).Seconds())
+		}
 	}
 	v.overhead += (start - s.now) + cost
 	v.preempting = true
@@ -331,6 +382,34 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 	} else {
 		s.preemptEvents++
 	}
+	if s.rec != nil {
+		s.record(Event{Time: s.now, Kind: EvDrainBegin, Job: v.ID, From: s.now, To: start + cost,
+			Alloc: v.Alloc, Detail: drainDetail(hostTier, v.slicing)})
+		if !hostTier {
+			s.record(Event{Time: s.now, Kind: EvStoreWrite, Job: v.ID, From: start, To: start + cost, Detail: "drain"})
+		}
+	}
+	if s.met != nil {
+		if v.slicing {
+			s.met.slices.Inc()
+		} else {
+			s.met.preempts.Inc()
+		}
+	}
+}
+
+// drainDetail names a drain's tier and cause with constant strings
+// (the recorder hot path must not allocate).
+func drainDetail(hostTier, slicing bool) string {
+	switch {
+	case hostTier && slicing:
+		return "host slice"
+	case hostTier:
+		return "host preempt"
+	case slicing:
+		return "store slice"
+	}
+	return "store preempt"
 }
 
 // requeuePreempted finishes a checkpoint drain: captures the workload
@@ -382,8 +461,15 @@ func (s *Scheduler) requeuePreempted(j *Job) {
 		j.hostAlloc = j.Alloc
 		s.cfg.Cluster.reserve(j.hostAlloc, j.memNeed)
 		j.restoreCost = s.cfg.HostResumeCost(j)
+		if s.rec != nil {
+			s.record(Event{Time: s.now, Kind: EvHostSuspend, Job: j.ID, Alloc: j.hostAlloc})
+			s.record(Event{Time: s.now, Kind: EvRequeue, Job: j.ID, Detail: "host"})
+		}
 	} else {
 		j.restoreCost = s.cfg.RestoreCost(j)
+		if s.rec != nil {
+			s.record(Event{Time: s.now, Kind: EvRequeue, Job: j.ID, Detail: "store"})
+		}
 	}
 	if j.restoreCost < 0 {
 		j.restoreCost = 0

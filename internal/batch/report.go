@@ -87,6 +87,11 @@ type Report struct {
 	// AvgFreeFrags is the mean number of free fragments seen at
 	// allocation instants — the fragmentation the placements created.
 	AvgFreeFrags float64
+	// Events is the recorded lifecycle stream, copied from the attached
+	// Config.Recorder when it can replay one (the built-in MemRecorder);
+	// empty otherwise. It backs Timeline, Explain, and the report-level
+	// WriteChromeTrace (obs.go, explain.go).
+	Events []Event
 }
 
 // report assembles the Report from the scheduler's terminal state.
@@ -115,6 +120,9 @@ func (s *Scheduler) report() Report {
 		DemotionTime:  s.demoteTime,
 		UserNodeTime:  make(map[string]time.Duration),
 		AvgFreeFrags:  s.cfg.Cluster.AvgFreeFrags(),
+	}
+	if src, ok := s.cfg.Recorder.(interface{ Events() []Event }); ok {
+		r.Events = append([]Event(nil), src.Events()...)
 	}
 	var waitSum time.Duration
 	for _, j := range r.Jobs {

@@ -156,6 +156,15 @@ type Config struct {
 	// preempted jobs in segments with genuine state snapshots. Leave
 	// nil for pure virtual-time scheduling studies.
 	Execute Executor
+	// Recorder receives one typed Event per lifecycle transition and
+	// one EvBlocked per queued job per scheduling pass (obs.go,
+	// explain.go). Nil disables recording at zero cost on the hot
+	// path — the zero-alloc guard in obs_test.go pins exactly that.
+	Recorder Recorder
+	// Metrics is the registry the scheduler publishes counters,
+	// gauges, and histograms into (metrics.go); series carry
+	// policy/placement labels. Nil disables publication.
+	Metrics *Registry
 }
 
 // Scheduler drives the job lifecycle on a virtual clock: Submit stamps
@@ -182,6 +191,9 @@ type Scheduler struct {
 	pinned        []pin                // migration pins: home RAM held until the outbound write settles
 	usage         map[string]*usage    // per-user decayed accounting (fairshare.go)
 	less          func(a, b *Job) bool // jobLess, bound once (no per-pass closure)
+	rec           Recorder             // lifecycle event sink; nil = recording off (obs.go)
+	met           *schedMetrics        // typed metric handles; nil = metrics off (metrics.go)
+	passes        int                  // scheduling passes taken (EvBlocked pass numbers)
 }
 
 // New validates cfg and returns an empty scheduler.
@@ -208,6 +220,10 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{cfg: cfg, nextID: 1, usage: make(map[string]*usage)}
 	s.link.duplex = cfg.StoreDuplex
 	s.less = s.jobLess
+	s.rec = cfg.Recorder
+	if cfg.Metrics != nil {
+		s.met = newSchedMetrics(cfg.Metrics, cfg.Policy, cfg.Placement)
+	}
 	return s
 }
 
@@ -296,6 +312,14 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.sliceEnd, j.sliceFull, j.slicing = false, 0, false
 	j.slices, j.rrStamp = 0, 0
 	s.pending.push(j)
+	if s.rec != nil {
+		s.record(Event{Time: s.now, Kind: EvSubmit, Job: j.ID, From: j.arrive,
+			Detail: fmt.Sprintf("%s (%s, %d nodes, prio %d, user %s)", j.Name, j.Kind, j.Nodes, j.Priority, j.User)})
+	}
+	if s.met != nil {
+		s.met.submitted.Inc()
+		s.met.queueDepth.Set(float64(s.pending.len()))
+	}
 	return nil
 }
 
@@ -344,11 +368,22 @@ func (s *Scheduler) schedulePass() {
 	// usageOf); chargeUsage and push mark the queue dirty whenever the
 	// order can actually change, so no re-sort is forced here.
 	for {
+		var t0 time.Time
+		if s.met != nil {
+			t0 = time.Now()
+		}
 		var started bool
 		if s.cfg.Policy == Conservative {
 			started = s.conservativePass()
 		} else {
 			started = s.passOnce()
+		}
+		if s.met != nil {
+			s.met.passWall.Observe(time.Since(t0).Seconds())
+			s.met.queueDepth.Set(float64(s.pending.len()))
+			wb, rb := s.link.backlog(s.now)
+			s.met.writeBacklog.Set(wb.Seconds())
+			s.met.readBacklog.Set(rb.Seconds())
 		}
 		if !started {
 			return
@@ -358,11 +393,16 @@ func (s *Scheduler) schedulePass() {
 
 // passOnce scans the queue once under FIFO, EASY, or fair-share; it
 // reports whether any job started (a start changes the free map, so the
-// caller rescans).
+// caller rescans). With a recorder attached, every arrived job scanned
+// and skipped gets one EvBlocked event classifying the obstacle; a
+// pass ends at the first start, so jobs behind it are simply not
+// scanned that pass.
 func (s *Scheduler) passOnce() bool {
+	pass := s.beginPass()
 	var blocked *Job // first eligible job that did not fit
 	var shadow time.Duration
-	for _, j := range s.pending.ordered(s.less) {
+	jobs := s.pending.ordered(s.less)
+	for i, j := range jobs {
 		if j.arrive > s.now {
 			continue // not yet arrived
 		}
@@ -375,7 +415,9 @@ func (s *Scheduler) passOnce() bool {
 			// far past its settlement. shadowStart models the
 			// settlement events, so the shadow lands at demoteEnd or
 			// the first sufficient capacity after it.
+			s.explain(pass, j, ReasonEvicting, j.demoteEnd)
 			if s.cfg.Policy == FIFO {
+				s.explainRest(pass, jobs[i+1:])
 				return false
 			}
 			blocked = j
@@ -386,6 +428,7 @@ func (s *Scheduler) passOnce() bool {
 			continue
 		}
 		if j.demoteEnd > s.now {
+			s.explain(pass, j, ReasonEvicting, j.demoteEnd)
 			continue // backfill candidates must be startable now
 		}
 		if blocked == nil {
@@ -397,9 +440,11 @@ func (s *Scheduler) passOnce() bool {
 			// (if suspend-to-host is on) begins demoting host images,
 			// before the shadow is computed — so the reservation
 			// reflects the drained nodes.
-			s.preemptFor(j)
+			out := s.preemptFor(j)
 			s.demoteFor(j)
+			s.explainHead(pass, j, out)
 			if s.cfg.Policy == FIFO {
+				s.explainRest(pass, jobs[i+1:])
 				return false // head-of-line blocking
 			}
 			blocked = j
@@ -418,8 +463,13 @@ func (s *Scheduler) passOnce() bool {
 		// before the head's reservation may jump it (tryStart
 		// re-checks with the allocation-dependent trunk stretch
 		// applied).
-		if s.now+s.restorePrefix(j)+j.estLeft() <= shadow && s.tryStart(j, true, shadow, true) {
-			return true
+		if s.now+s.restorePrefix(j)+j.estLeft() <= shadow {
+			if s.tryStart(j, true, shadow, true) {
+				return true
+			}
+			s.explainBackfillFail(pass, j, shadow)
+		} else if s.rec != nil {
+			s.explain(pass, j, s.shadowOrLinkBusy(j, shadow), shadow)
 		}
 	}
 	return false
@@ -542,7 +592,11 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 			}
 			wait = rStart - s.now // everything ahead of the read transfer
 		}
-		for _, cand := range c.candidates(j.Nodes, j.memNeed, s.cfg.Placement) {
+		cands := c.candidates(j.Nodes, j.memNeed, s.cfg.Placement)
+		if s.met != nil {
+			s.met.candidates.Add(float64(len(cands)))
+		}
+		for _, cand := range cands {
 			if limited && s.now+wait+cost+s.stretched(j.estLeft(), cand.crosses) > limit {
 				continue
 			}
@@ -560,13 +614,14 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 	}
 	j.readStart, j.readEnd, j.readWait = 0, 0, 0
 	readAvail := s.now
+	var migStart time.Duration
 	if migrate {
 		// The home RAM stays pinned until the outbound write settles.
-		wStart := s.link.reserveWrite(s.now, writeLeg)
-		s.drainWait += wStart - s.now
+		migStart = s.link.reserveWrite(s.now, writeLeg)
+		s.drainWait += migStart - s.now
 		c.reserve(j.hostAlloc, j.memNeed)
-		s.pinUntil(j.hostAlloc, j.memNeed, wStart+writeLeg)
-		readAvail = wStart + writeLeg
+		s.pinUntil(j.hostAlloc, j.memNeed, migStart+writeLeg)
+		readAvail = migStart + writeLeg
 	}
 	j.hostImage = false
 	j.hostAlloc = Allocation{}
@@ -575,6 +630,9 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 		j.readWait = start - readAvail
 		s.restoreWait += j.readWait
 		j.readStart, j.readEnd = start, start+readCost
+		if s.met != nil {
+			s.met.restoreWait.Observe(j.readWait.Seconds())
+		}
 	}
 	if backfilled && limited {
 		j.shadow = limit
@@ -585,6 +643,9 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 	j.backfilled = backfilled
 	if backfilled {
 		s.backfills++
+		if s.met != nil {
+			s.met.backfills.Inc()
+		}
 	}
 	if len(j.History) == 0 {
 		// First dispatch: fix the true total work. The Actual hook maps
@@ -623,6 +684,16 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 		j.End = s.now + j.segRestore + q
 		j.sliceEnd = true
 	}
+	if s.rec != nil {
+		s.record(Event{Time: s.now, Kind: EvDispatch, Job: j.ID, From: s.now + prefix, Alloc: alloc,
+			Detail: dispatchDetail(backfilled, migrate, readCost > 0, prefix)})
+		if migrate {
+			s.record(Event{Time: s.now, Kind: EvStoreWrite, Job: j.ID, From: migStart, To: migStart + writeLeg, Detail: "migrate"})
+		}
+		if readCost > 0 {
+			s.record(Event{Time: s.now, Kind: EvStoreRead, Job: j.ID, From: j.readStart, To: j.readEnd})
+		}
+	}
 	heap.Push(&s.running, j)
 	return true
 }
@@ -652,6 +723,9 @@ func (s *Scheduler) sliceBoundary(j *Job) {
 		} else {
 			j.sliceEnd, j.slicing = false, true
 			j.rrStamp = s.now // resume after the waiters that outranked us here
+			if s.rec != nil {
+				s.record(Event{Time: s.now, Kind: EvSliceYield, Job: j.ID, Alloc: j.Alloc})
+			}
 			heap.Push(&s.running, j)
 			s.beginCheckpoint(j)
 			s.fixRunning(j)
@@ -791,6 +865,13 @@ func (s *Scheduler) complete(j *Job) {
 	j.History = append(j.History, Segment{Alloc: j.Alloc, Start: j.segStart, End: s.now, Preempted: j.preempting})
 	s.cfg.Cluster.Release(j.Alloc, held)
 	s.chargeUsage(j.User, time.Duration(j.Alloc.Count)*held)
+	if s.rec != nil {
+		detail := "run"
+		if j.preempting {
+			detail = "drain"
+		}
+		s.record(Event{Time: s.now, Kind: EvSegmentEnd, Job: j.ID, From: j.segStart, To: s.now, Alloc: j.Alloc, Detail: detail})
+	}
 	if j.preempting {
 		s.requeuePreempted(j)
 		return
@@ -808,6 +889,21 @@ func (s *Scheduler) complete(j *Job) {
 		j.State = Failed
 	} else {
 		j.State = Done
+	}
+	if s.rec != nil {
+		detail := "done"
+		if j.State == Failed {
+			detail = "failed"
+		}
+		s.record(Event{Time: s.now, Kind: EvComplete, Job: j.ID, From: j.arrive, To: s.now, Detail: detail})
+	}
+	if s.met != nil {
+		if j.State == Failed {
+			s.met.failed.Inc()
+		} else {
+			s.met.completed.Inc()
+		}
+		s.met.wait.Observe(j.Wait().Seconds())
 	}
 	s.finished = append(s.finished, j)
 }

@@ -162,6 +162,13 @@ func (s *Scheduler) demote(d *Job) {
 	s.demoting = append(s.demoting, d)
 	s.demotions++
 	s.demoteTime += cost
+	if s.rec != nil {
+		s.record(Event{Time: s.now, Kind: EvDemoteBegin, Job: d.ID, From: start, To: d.demoteEnd, Alloc: d.hostAlloc})
+		s.record(Event{Time: s.now, Kind: EvStoreWrite, Job: d.ID, From: start, To: d.demoteEnd, Detail: "demote"})
+	}
+	if s.met != nil {
+		s.met.demotions.Inc()
+	}
 }
 
 // pin is host memory held past its owner's dispatch: a migrating job's
@@ -188,6 +195,9 @@ func (s *Scheduler) settleDemotions() {
 		if d.demoteEnd > s.now {
 			kept = append(kept, d)
 			continue
+		}
+		if s.rec != nil {
+			s.record(Event{Time: s.now, Kind: EvDemoteEnd, Job: d.ID, Alloc: d.hostAlloc})
 		}
 		s.cfg.Cluster.unreserve(d.hostAlloc, d.memNeed)
 		d.hostImage = false
