@@ -23,6 +23,16 @@
 //	clusterctl -explain 7                      # why job 7 waited, pass by pass
 //	clusterctl -metrics-out -                  # Prometheus metrics to stdout
 //
+// Subcommands turn the same scheduler into a live daemon and talk to
+// it over HTTP (see serve.go):
+//
+//	clusterctl serve -nodes 32 -compress 60    # real-time submit/cancel/query daemon
+//	clusterctl submit -gang 4 -est 30m         # POST a job to it
+//	clusterctl queue                           # live queue snapshot
+//	clusterctl info 7                          # one job, with its blocker breakdown
+//	clusterctl cancel 7                        # withdraw it, wherever it is
+//	clusterctl slam -jobs 200 -compress 5000   # SWF load generator, latency percentiles
+//
 // With -quantum the comparison table gains a run-to-completion EASY
 // baseline row and a short-job wait column (jobs with estimates at or
 // below the mix median), the population time-slicing exists to help.
@@ -35,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"gpucluster/internal/batch"
@@ -55,6 +66,17 @@ func main() {
 // args, reports print to stdout, errors print to stderr, and the return
 // value is the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
+	// Subcommand dispatch: "clusterctl serve" and its client verbs live
+	// in serve.go; a bare flag invocation stays the classic one-shot
+	// virtual-time study.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, ok := subcommands[args[0]]
+		if !ok {
+			fmt.Fprintf(stderr, "clusterctl: unknown command %q (want serve, submit, cancel, queue, info, or slam — or flags only)\n", args[0])
+			return 2
+		}
+		return cmd(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("clusterctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	nodes := fs.Int("nodes", 32, "cluster size (the paper's machine had 32 compute nodes)")
@@ -290,6 +312,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*traceOut, len(firstRep.Events))
 	}
 	if *explainID > 0 {
+		known := false
+		for _, j := range firstRep.Jobs {
+			if j.ID == *explainID {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fail("-explain %d: no such job (the run had IDs 1..%d)", *explainID, len(firstRep.Jobs))
+		}
 		e := firstRep.Explain(*explainID)
 		fmt.Fprintln(stdout, e)
 		if dom := e.Dominant(); dom != batch.ReasonNone {
@@ -336,7 +368,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 // suspend-to-host tier. Schema 3 adds the observability tax: the same
 // throughput queue drained with a MemRecorder attached, so a recorder
 // regression shows up next to the baseline it is promised to track
-// within a few percent.
+// within a few percent. Schema 4 adds the serving front door: submit-
+// to-dispatch latency percentiles and accepted-job throughput from a
+// pinned slam run against an in-process clusterctl-serve daemon.
 type benchSnapshot struct {
 	Schema        int                `json:"schema"`
 	Nodes         int                `json:"nodes"`
@@ -355,6 +389,9 @@ type benchSnapshot struct {
 	RestoreWaitMS map[string]float64 `json:"restore_wait_ms"`
 	CkptOverhead  map[string]float64 `json:"ckpt_overhead_ms"`
 	HostCkptOver  map[string]float64 `json:"ckpt_overhead_suspend_to_host_ms"`
+	ServeP50MS    float64            `json:"serve_submit_p50_ms"`
+	ServeP99MS    float64            `json:"serve_submit_p99_ms"`
+	ServeJobsSec  float64            `json:"serve_jobs_per_sec"`
 }
 
 // writeBenchJSON measures scheduling throughput (jobs/s through a
@@ -400,7 +437,7 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error 
 		return err
 	}
 	snap := benchSnapshot{
-		Schema:        3,
+		Schema:        4,
 		Nodes:         nodes,
 		Seed:          seed,
 		BenchJobs:     benchJobs,
@@ -442,6 +479,13 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error 
 		}
 		snap.HostCkptOver[pol.String()] = ms(host.CheckpointOverhead + host.DemotionTime)
 	}
+	serve, err := benchServe(nodes, seed)
+	if err != nil {
+		return err
+	}
+	snap.ServeP50MS = ms(serve.P50)
+	snap.ServeP99MS = ms(serve.P99)
+	snap.ServeJobsSec = serve.JobsPerSec
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -450,8 +494,8 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error 
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "clusterctl: wrote %s (%.0f jobs/s scheduling throughput, %.0f with recorder, easy makespan %.0f ms)\n",
-		path, snap.JobsPerSec, snap.RecJobsPerSec, snap.MakespanMS["easy"])
+	fmt.Fprintf(stdout, "clusterctl: wrote %s (%.0f jobs/s scheduling throughput, %.0f with recorder, easy makespan %.0f ms, serve p99 %.1f ms)\n",
+		path, snap.JobsPerSec, snap.RecJobsPerSec, snap.MakespanMS["easy"], snap.ServeP99MS)
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +11,8 @@ import (
 	"time"
 
 	"gpucluster/internal/batch"
+	"gpucluster/internal/batch/server"
+	"gpucluster/internal/netsim"
 )
 
 func TestValidateCheckpointFlags(t *testing.T) {
@@ -166,5 +170,121 @@ func TestCkptWaitColGuardsZeroRestoreRuns(t *testing.T) {
 	}
 	if got := ckptWaitCol(r); got != "4s+6s" {
 		t.Errorf("contended run rendered %q, want 4s+6s", got)
+	}
+}
+
+// TestRunExplainUnknownJob pins the satellite fix: -explain with a job
+// ID the run never had must fail loudly instead of printing an empty
+// breakdown.
+func TestRunExplainUnknownJob(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-trace", "../../examples/traces/sample.swf", "-policy", "easy", "-explain", "9999"},
+		&out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 for an unknown -explain ID", code)
+	}
+	if msg := errw.String(); !strings.Contains(msg, "no such job") {
+		t.Fatalf("stderr lacks the no-such-job error: %q", msg)
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"frobnicate"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code %d, want 2 for an unknown subcommand", code)
+	}
+	if msg := errw.String(); !strings.Contains(msg, "unknown command") || !strings.Contains(msg, "serve") {
+		t.Fatalf("stderr should name the verbs: %q", msg)
+	}
+}
+
+// TestRunClientVerbs drives submit/queue/info/cancel through the run()
+// seam against an in-process daemon — the whole CLI round trip minus
+// the process boundary.
+func TestRunClientVerbs(t *testing.T) {
+	srv := server.New(server.Config{
+		Batch: batch.Config{Cluster: batch.NewCluster(4, netsim.GigabitSwitch(4))},
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := l.Addr().String()
+
+	var out, errw strings.Builder
+	code := run([]string{"submit", "-addr", addr, "-user", "ana", "-kind", "pde",
+		"-gang", "2", "-est", "1h", "-name", "probe"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("submit exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "job 1 probe: running") {
+		t.Fatalf("submit output: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"queue", "-addr", addr}, &out, &errw); code != 0 {
+		t.Fatalf("queue exit %d, stderr: %s", code, errw.String())
+	}
+	if s := out.String(); !strings.Contains(s, "1 running") || !strings.Contains(s, "probe") {
+		t.Fatalf("queue output: %q", s)
+	}
+
+	out.Reset()
+	if code := run([]string{"info", "-addr", addr, "1"}, &out, &errw); code != 0 {
+		t.Fatalf("info exit %d, stderr: %s", code, errw.String())
+	}
+	if s := out.String(); !strings.Contains(s, "job 1 probe: running") || !strings.Contains(s, "user ana") {
+		t.Fatalf("info output: %q", s)
+	}
+
+	out.Reset()
+	if code := run([]string{"cancel", "-addr", addr, "1"}, &out, &errw); code != 0 {
+		t.Fatalf("cancel exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "job 1 probe: canceled") {
+		t.Fatalf("cancel output: %q", out.String())
+	}
+	errw.Reset()
+	if code := run([]string{"cancel", "-addr", addr, "1"}, &out, &errw); code != 1 {
+		t.Fatalf("double cancel exit %d, want 1", code)
+	}
+	errw.Reset()
+	if code := run([]string{"info", "-addr", addr, "not-a-number"}, &out, &errw); code != 1 {
+		t.Fatalf("bad ID exit %d, want 1", code)
+	}
+}
+
+// TestRunSlamVerb replays a tiny synthetic trace through the slam
+// subcommand against a high-compression daemon.
+func TestRunSlamVerb(t *testing.T) {
+	srv := server.New(server.Config{
+		Batch:    batch.Config{Cluster: batch.NewCluster(4, netsim.GigabitSwitch(4)), Policy: batch.Backfill},
+		Compress: 100_000,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	var out, errw strings.Builder
+	code := run([]string{"slam", "-addr", l.Addr().String(), "-jobs", "12", "-users", "2",
+		"-nodes", "4", "-compress", "100000", "-submitters", "3", "-timeout", "60s"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("slam exit %d, stderr: %s", code, errw.String())
+	}
+	if s := out.String(); !strings.Contains(s, "slam: 12 submitted, 12 accepted") {
+		t.Fatalf("slam output: %q", s)
 	}
 }

@@ -75,6 +75,11 @@ const (
 	// occupied its allocation for its full runtime (a crash at the end
 	// of the run, the common failure shape on real clusters).
 	Failed
+	// Canceled means the job was withdrawn by Scheduler.Cancel before
+	// completing. A canceled job keeps whatever run segments it already
+	// held (their node time is real and stays accounted); its
+	// checkpoint image, if any, is discarded.
+	Canceled
 )
 
 func (s JobState) String() string {
@@ -87,6 +92,8 @@ func (s JobState) String() string {
 		return "done"
 	case Failed:
 		return "failed"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -196,6 +203,7 @@ type Job struct {
 	slicing     bool // current checkpoint drain is a slice suspension
 	hostDrain   bool // current drain stays in host RAM (suspend-to-host)
 	hostImage   bool // suspended image resident in host RAM, memory pinned
+	canceled    bool // Cancel hit the job mid-drain: discard at requeue
 	forceStore  bool // pending suspension must take the store tier: its
 	// in-RAM image would pin the very memory the beneficiary needs
 }

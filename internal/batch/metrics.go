@@ -355,6 +355,7 @@ type schedMetrics struct {
 	submitted  *Counter // batch_jobs_submitted_total
 	completed  *Counter // batch_jobs_completed_total
 	failed     *Counter // batch_jobs_failed_total
+	canceled   *Counter // batch_jobs_canceled_total
 	passes     *Counter // batch_scheduler_passes_total
 	candidates *Counter // batch_placement_candidates_total
 	backfills  *Counter // batch_backfills_total
@@ -382,6 +383,7 @@ func newSchedMetrics(reg *Registry, pol Policy, plc Placement) *schedMetrics {
 		submitted:    reg.Counter("batch_jobs_submitted_total", "Jobs accepted into the queue.", base),
 		completed:    reg.Counter("batch_jobs_completed_total", "Jobs reaching a terminal state.", base),
 		failed:       reg.Counter("batch_jobs_failed_total", "Jobs whose workload reported an error.", base),
+		canceled:     reg.Counter("batch_jobs_canceled_total", "Jobs withdrawn by Cancel before completing.", base),
 		passes:       reg.Counter("batch_scheduler_passes_total", "Scheduling passes over the queue.", base),
 		candidates:   reg.Counter("batch_placement_candidates_total", "Placement candidates enumerated across dispatch attempts.", base),
 		backfills:    reg.Counter("batch_backfills_total", "Dispatches that jumped a blocked reservation.", base),

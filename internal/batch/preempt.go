@@ -317,42 +317,7 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 	// before the refund logic clears them.
 	hostTier := s.hostEligible(v) && !v.forceStore
 	v.forceStore = false
-	elapsed := s.now - v.segStart - v.segRestore
-	if elapsed < 0 {
-		// Preempted mid-restore: the reload is wasted work, and the
-		// part of it that never ran is refunded from the overhead
-		// charge — the gang stopped holding nodes the instant the
-		// checkpoint began, so busy time stays exactly true work plus
-		// charged overhead. A store restore also gives its link slot
-		// back: the untransferred tail frees for the next restore, and
-		// queue wait that was charged but never served comes off the
-		// contention statistic.
-		v.overhead += elapsed
-		if v.readEnd > 0 {
-			// Unserved queue wait comes off the contention statistic,
-			// capped at what this segment was actually charged (a
-			// migrating job's wait clock only started after its
-			// outbound write leg).
-			if refund := v.readStart - s.now; refund > 0 {
-				if refund > v.readWait {
-					refund = v.readWait
-				}
-				s.restoreWait -= refund
-			}
-			s.link.releaseRead(v.readStart, v.readEnd, s.now)
-			if s.rec != nil {
-				s.record(Event{Time: s.now, Kind: EvStoreRead, Job: v.ID, From: v.readStart, To: s.now, Detail: "cancel"})
-			}
-		}
-		elapsed = 0
-	}
-	v.readStart, v.readEnd, v.readWait = 0, 0, 0
-	done := time.Duration(float64(elapsed) / v.segFactor)
-	if done > v.workLeft {
-		done = v.workLeft
-	}
-	v.workLeft -= done
-	v.doneWork += done
+	s.bankProgress(v)
 	var start, cost time.Duration
 	if hostTier {
 		cost = s.cfg.HostSuspendCost(v)
@@ -398,6 +363,47 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 	}
 }
 
+// bankProgress settles a running segment interrupted at the current
+// instant — a checkpoint drain beginning, or a mid-run Cancel: it
+// credits the work the segment completed against workLeft/doneWork and
+// refunds an interrupted restore prefix. A gang cut off mid-restore
+// never ran the reload, so the part of the prefix that never elapsed
+// comes off the overhead charge — the gang stops holding nodes at this
+// instant, keeping busy time exactly true work plus charged overhead.
+// A store restore also gives its link slot back: the untransferred
+// tail frees for the next restore, and queue wait that was charged but
+// never served comes off the contention statistic.
+func (s *Scheduler) bankProgress(v *Job) {
+	elapsed := s.now - v.segStart - v.segRestore
+	if elapsed < 0 {
+		v.overhead += elapsed
+		if v.readEnd > 0 {
+			// Unserved queue wait comes off the contention statistic,
+			// capped at what this segment was actually charged (a
+			// migrating job's wait clock only started after its
+			// outbound write leg).
+			if refund := v.readStart - s.now; refund > 0 {
+				if refund > v.readWait {
+					refund = v.readWait
+				}
+				s.restoreWait -= refund
+			}
+			s.link.releaseRead(v.readStart, v.readEnd, s.now)
+			if s.rec != nil {
+				s.record(Event{Time: s.now, Kind: EvStoreRead, Job: v.ID, From: v.readStart, To: s.now, Detail: "cancel"})
+			}
+		}
+		elapsed = 0
+	}
+	v.readStart, v.readEnd, v.readWait = 0, 0, 0
+	done := time.Duration(float64(elapsed) / v.segFactor)
+	if done > v.workLeft {
+		done = v.workLeft
+	}
+	v.workLeft -= done
+	v.doneWork += done
+}
+
 // drainDetail names a drain's tier and cause with constant strings
 // (the recorder hot path must not allocate).
 func drainDetail(hostTier, slicing bool) string {
@@ -435,6 +441,15 @@ func (s *Scheduler) requeuePreempted(j *Job) {
 		if b.waveLeft == 0 {
 			b.wavePending = false
 		}
+	}
+	if j.canceled {
+		// Cancel hit the job while its checkpoint was draining: the
+		// drain had to land (the nodes and the link slot were already
+		// committed), but the image is discarded instead of requeued.
+		j.hostDrain = false
+		j.restoreCost = 0
+		s.finishCanceled(j)
+		return
 	}
 	if ck, ok := s.cfg.Execute.(Checkpointer); ok {
 		frac := 1 - float64(j.workLeft)/float64(j.workTotal)

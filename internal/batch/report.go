@@ -78,6 +78,8 @@ type Report struct {
 	UserNodeTime map[string]time.Duration
 	// Failed counts jobs whose workload reported an error.
 	Failed int
+	// Canceled counts jobs withdrawn by Cancel before completing.
+	Canceled int
 	// TrunkCrossed counts jobs whose gang spanned the stacking trunk,
 	// paying the Section 4.3 bandwidth on every border exchange.
 	TrunkCrossed int
@@ -136,6 +138,9 @@ func (s *Scheduler) report() Report {
 		}
 		if j.State == Failed {
 			r.Failed++
+		}
+		if j.State == Canceled {
+			r.Canceled++
 		}
 		if j.Alloc.CrossesTrunk {
 			r.TrunkCrossed++
@@ -234,6 +239,9 @@ func (r Report) String() string {
 		r.Backfilled, r.Failed)
 	fmt.Fprintf(&b, "  placement: %d trunk-crossing gangs, %d split gangs, %.1f avg free fragments at allocation\n",
 		r.TrunkCrossed, r.SplitGangs, r.AvgFreeFrags)
+	if r.Canceled > 0 {
+		fmt.Fprintf(&b, "  canceled: %d jobs withdrawn before completion\n", r.Canceled)
+	}
 	if r.PreemptEvents > 0 {
 		fmt.Fprintf(&b, "  preemption: %d jobs preempted (%d checkpoints), %v checkpoint/restore overhead\n",
 			r.Preempted, r.PreemptEvents, RoundDuration(r.CheckpointOverhead))

@@ -3,9 +3,15 @@ package batch
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
+
+// Forever is a virtual instant past every event: RunUntil(Forever)
+// drains the scheduler completely, and a VirtualClock reads it so the
+// engine never waits on wall time.
+const Forever = time.Duration(math.MaxInt64)
 
 // Policy selects the queue discipline.
 type Policy int
@@ -190,6 +196,8 @@ type Scheduler struct {
 	demoting      []*Job               // host images mid-eviction (reservation held to demoteEnd)
 	pinned        []pin                // migration pins: home RAM held until the outbound write settles
 	usage         map[string]*usage    // per-user decayed accounting (fairshare.go)
+	byID          map[int]*Job         // every job ever submitted, by assigned ID (Cancel, JobByID)
+	canceled      int                  // jobs withdrawn by Cancel
 	less          func(a, b *Job) bool // jobLess, bound once (no per-pass closure)
 	rec           Recorder             // lifecycle event sink; nil = recording off (obs.go)
 	met           *schedMetrics        // typed metric handles; nil = metrics off (metrics.go)
@@ -217,7 +225,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.HostResumeCost == nil {
 		cfg.HostResumeCost = DefaultHostResumeCost
 	}
-	s := &Scheduler{cfg: cfg, nextID: 1, usage: make(map[string]*usage)}
+	s := &Scheduler{cfg: cfg, nextID: 1, usage: make(map[string]*usage), byID: make(map[int]*Job)}
 	s.link.duplex = cfg.StoreDuplex
 	s.less = s.jobLess
 	s.rec = cfg.Recorder
@@ -281,6 +289,7 @@ func (s *Scheduler) Submit(j *Job) error {
 	}
 	j.ID = s.nextID
 	s.nextID++
+	s.byID[j.ID] = j
 	j.steps, j.problem, j.arrive, j.memNeed = r.Steps, r.Problem, r.Submit, need
 	j.est = j.Est
 	if j.est <= 0 {
@@ -311,6 +320,7 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.wavePending, j.waveLeft, j.waveFor = false, 0, nil
 	j.sliceEnd, j.sliceFull, j.slicing = false, 0, false
 	j.slices, j.rrStamp = 0, 0
+	j.canceled = false
 	s.pending.push(j)
 	if s.rec != nil {
 		s.record(Event{Time: s.now, Kind: EvSubmit, Job: j.ID, From: j.arrive,
@@ -328,35 +338,85 @@ func (s *Scheduler) Submit(j *Job) error {
 // advancing monotonically. Events are job completions (including
 // checkpoint drains and quantum boundaries), future arrivals, and
 // demotion settlements — the instants an evicted host image finishes
-// its store write and releases the memory it pinned.
+// its store write and releases the memory it pinned. Run is a thin
+// compatibility wrapper over the incremental core: it steps the event
+// loop until no event remains — exactly the monolithic loop it
+// replaced, event for event.
 func (s *Scheduler) Run() Report {
+	s.RunUntil(Forever)
+	return s.report()
+}
+
+// Step runs one scheduling round and advances the virtual clock to the
+// next engine event — a job completion (including checkpoint drains and
+// quantum boundaries), a future arrival, or a demotion settlement —
+// handling everything due at that instant. It returns false, without
+// moving the clock, when no event remains: the queue is drained (or
+// every pending job's arrival lies in the future of an externally
+// driven clock — see RunUntil).
+func (s *Scheduler) Step() bool {
+	s.settleDemotions()
+	s.schedulePass()
+	t, ok := s.nextEvent()
+	if !ok {
+		return false
+	}
+	s.advance(t)
+	return true
+}
+
+// RunUntil processes every event due at or before t, leaving the
+// virtual clock at the last event handled (never at t itself — the
+// timeline stays event-driven, and a job ingested later with a stamp
+// between the last event and t is still a future arrival). This is the
+// incremental entry point a real-time driver calls with its clock
+// reading: if the driver overslept, every missed event is caught up in
+// order, deterministically.
+func (s *Scheduler) RunUntil(t time.Duration) {
 	for {
 		s.settleDemotions()
 		s.schedulePass()
-		tComplete := time.Duration(-1)
-		if s.running.Len() > 0 {
-			tComplete = s.running[0].End
+		next, ok := s.nextEvent()
+		if !ok || next > t {
+			return
 		}
-		tNext, hasNext := s.pending.nextArrival(s.now)
-		if tDemote, ok := s.nextDemotion(); ok && (!hasNext || tDemote < tNext) {
-			tNext, hasNext = tDemote, true
+		s.advance(next)
+	}
+}
+
+// nextEvent returns the earliest pending event instant: the soonest
+// completion (which wins ties, exactly as the monolithic loop ordered
+// its switch), future arrival, or demotion settlement.
+func (s *Scheduler) nextEvent() (time.Duration, bool) {
+	tComplete := time.Duration(-1)
+	if s.running.Len() > 0 {
+		tComplete = s.running[0].End
+	}
+	tNext, hasNext := s.pending.nextArrival(s.now)
+	if tDemote, ok := s.nextDemotion(); ok && (!hasNext || tDemote < tNext) {
+		tNext, hasNext = tDemote, true
+	}
+	switch {
+	case tComplete >= 0 && (!hasNext || tComplete <= tNext):
+		return tComplete, true
+	case hasNext:
+		return tNext, true
+	}
+	return 0, false
+}
+
+// advance moves the clock to t and pops every completion event due at
+// that instant (arrivals and settlements need no handling beyond the
+// clock move — the next scheduling pass sees them).
+func (s *Scheduler) advance(t time.Duration) {
+	s.now = t
+	for s.running.Len() > 0 && s.running[0].End == s.now {
+		j := heap.Pop(&s.running).(*Job)
+		if j.sliceEnd && !j.preempting {
+			s.sliceBoundary(j)
+			continue
 		}
-		switch {
-		case tComplete >= 0 && (!hasNext || tComplete <= tNext):
-			s.now = tComplete
-			for s.running.Len() > 0 && s.running[0].End == s.now {
-				j := heap.Pop(&s.running).(*Job)
-				if j.sliceEnd && !j.preempting {
-					s.sliceBoundary(j)
-					continue
-				}
-				s.complete(j)
-			}
-		case hasNext:
-			s.now = tNext
-		default:
-			return s.report()
-		}
+		s.complete(j)
 	}
 }
 

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client talks to a clusterctl serve daemon. The zero value is not
+// usable; set Base (e.g. "http://127.0.0.1:8732").
+type Client struct {
+	// Base is the daemon's root URL, no trailing slash.
+	Base string
+	// Token is the bearer token (token-auth servers); empty sends none.
+	Token string
+	// User is sent as X-User in open mode.
+	User string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// APIError is a non-2xx response, carrying the server's error message.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// IsQuota reports whether the error is a 429 quota rejection.
+func (e *APIError) IsQuota() bool { return e.Status == http.StatusTooManyRequests }
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if c.User != "" {
+		req.Header.Set("X-User", c.User)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ev errorView
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ev) == nil && ev.Error != "" {
+			msg = ev.Error
+		}
+		return &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec and returns the accepted job's view.
+func (c *Client) Submit(spec JobSpec) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodPost, "/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Cancel withdraws a job.
+func (c *Client) Cancel(id int) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodDelete, fmt.Sprintf("/v1/jobs/%d", id), nil, &v)
+	return v, err
+}
+
+// Job fetches one job's status, including the explain breakdown.
+func (c *Client) Job(id int) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &v)
+	return v, err
+}
+
+// Queue fetches the live queue snapshot.
+func (c *Client) Queue() (QueueView, error) {
+	var v QueueView
+	err := c.do(http.MethodGet, "/v1/queue", nil, &v)
+	return v, err
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Msg: resp.Status}
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

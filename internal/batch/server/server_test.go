@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gpucluster/internal/batch"
+	"gpucluster/internal/netsim"
+)
+
+// stoppedClock freezes virtual time at zero: ingested jobs dispatch
+// (or queue) immediately but nothing ever completes, so lifecycle
+// states are deterministic under test.
+type stoppedClock struct{}
+
+func (stoppedClock) Now() time.Duration { return 0 }
+
+func testCluster(n int) *batch.Cluster {
+	return batch.NewCluster(n, netsim.GigabitSwitch(n))
+}
+
+// startServer boots a server on a loopback listener and tears it down
+// with the test.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s := New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := s.Serve(l); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, "http://" + l.Addr().String()
+}
+
+func wantStatus(t *testing.T, err error, code int) {
+	t.Helper()
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("want HTTP %d error, got %v", code, err)
+	}
+	if apiErr.Status != code {
+		t.Fatalf("want HTTP %d, got %d (%s)", code, apiErr.Status, apiErr.Msg)
+	}
+}
+
+// TestServeAuthAndLifecycle walks the token-auth front door: 401 on
+// missing/bad tokens, owner-only cancel, 404/409 on the cancel edge
+// cases, and 400 on malformed specs.
+func TestServeAuthAndLifecycle(t *testing.T) {
+	_, base := startServer(t, Config{
+		Batch:  batch.Config{Cluster: testCluster(4)},
+		Clock:  stoppedClock{},
+		Tokens: map[string]string{"tok-ana": "ana", "tok-bo": "bo"},
+	})
+	anon := &Client{Base: base}
+	ana := &Client{Base: base, Token: "tok-ana"}
+	bo := &Client{Base: base, Token: "tok-bo"}
+
+	if _, err := anon.Submit(JobSpec{Nodes: 1}); err == nil {
+		t.Fatal("unauthenticated submit accepted")
+	} else {
+		wantStatus(t, err, http.StatusUnauthorized)
+	}
+	if _, err := (&Client{Base: base, Token: "bogus"}).Queue(); err == nil {
+		t.Fatal("bad token accepted")
+	} else {
+		wantStatus(t, err, http.StatusUnauthorized)
+	}
+
+	v, err := ana.Submit(JobSpec{Name: "anas", Kind: "pde", Nodes: 2, EstSeconds: 60})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if v.User != "ana" || v.State != "running" || v.Nodes != 2 {
+		t.Fatalf("submitted view: %+v", v)
+	}
+
+	// Reads are open to any authenticated user; cancel is owner-only.
+	if _, err := bo.Job(v.ID); err != nil {
+		t.Fatalf("cross-user read: %v", err)
+	}
+	if _, err := bo.Cancel(v.ID); err == nil {
+		t.Fatal("cross-user cancel accepted")
+	} else {
+		wantStatus(t, err, http.StatusForbidden)
+	}
+	cv, err := ana.Cancel(v.ID)
+	if err != nil || cv.State != "canceled" {
+		t.Fatalf("owner cancel: %+v, %v", cv, err)
+	}
+	if _, err := ana.Cancel(v.ID); err == nil {
+		t.Fatal("double cancel accepted")
+	} else {
+		wantStatus(t, err, http.StatusConflict)
+	}
+	if _, err := ana.Cancel(999); err == nil {
+		t.Fatal("cancel of unknown job accepted")
+	} else {
+		wantStatus(t, err, http.StatusNotFound)
+	}
+
+	if _, err := ana.Submit(JobSpec{Kind: "quantum", Nodes: 1}); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else {
+		wantStatus(t, err, http.StatusBadRequest)
+	}
+	if _, err := ana.Submit(JobSpec{Nodes: 0}); err == nil {
+		t.Fatal("zero-node job accepted")
+	} else {
+		wantStatus(t, err, http.StatusBadRequest)
+	}
+	if err := ana.do(http.MethodGet, "/v1/jobs/abc", nil, nil); err == nil {
+		t.Fatal("non-numeric job id accepted")
+	} else {
+		wantStatus(t, err, http.StatusBadRequest)
+	}
+}
+
+// TestServeQuota pins the 429 admission path: per-user max-queued and
+// node-seconds bounds, quota released by cancel, and per-user
+// overrides.
+func TestServeQuota(t *testing.T) {
+	_, base := startServer(t, Config{
+		Batch: batch.Config{Cluster: testCluster(2)},
+		Clock: stoppedClock{},
+		Quota: Quota{MaxQueued: 2},
+		UserQuotas: map[string]Quota{
+			"tiny": {MaxNodeSeconds: 100},
+			"vip":  {MaxQueued: 100},
+		},
+	})
+	ana := &Client{Base: base, User: "ana"}
+	spec := JobSpec{Kind: "lbm", Nodes: 1, EstSeconds: 60}
+	first, err := ana.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	if _, err := ana.Submit(spec); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	_, err = ana.Submit(spec)
+	if err == nil {
+		t.Fatal("third submit passed a MaxQueued=2 quota")
+	}
+	wantStatus(t, err, http.StatusTooManyRequests)
+	if apiErr := err.(*APIError); !apiErr.IsQuota() {
+		t.Fatalf("IsQuota false on %v", err)
+	}
+
+	// Independent users have independent budgets; the vip override
+	// lifts the default.
+	for i, u := range []string{"bo", "vip", "vip", "vip"} {
+		if _, err := (&Client{Base: base, User: u}).Submit(spec); err != nil {
+			t.Fatalf("submit %d as %s: %v", i, u, err)
+		}
+	}
+
+	// 2 nodes x 60s = 120 node-seconds > the tiny user's 100.
+	_, err = (&Client{Base: base, User: "tiny"}).Submit(JobSpec{Kind: "lbm", Nodes: 2, EstSeconds: 60})
+	if err == nil {
+		t.Fatal("node-seconds quota did not trip")
+	}
+	wantStatus(t, err, http.StatusTooManyRequests)
+
+	// Canceling frees the slot.
+	if _, err := ana.Cancel(first.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if _, err := ana.Submit(spec); err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+}
+
+// TestServeQueueAndExplain checks the introspection endpoints: the
+// queue snapshot's ordering and counts, and the per-job explain
+// breakdown riding the job view.
+func TestServeQueueAndExplain(t *testing.T) {
+	_, base := startServer(t, Config{
+		Batch: batch.Config{Cluster: testCluster(4), Policy: batch.Backfill},
+		Clock: stoppedClock{},
+	})
+	c := &Client{Base: base, User: "ana"}
+	wide, err := c.Submit(JobSpec{Kind: "pde", Nodes: 4, EstSeconds: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := c.Submit(JobSpec{Kind: "pde", Nodes: 4, EstSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.Queue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Running != 1 || q.Queued != 1 || len(q.Jobs) != 2 {
+		t.Fatalf("queue view: %+v", q)
+	}
+	if q.Jobs[0].ID != blocked.ID || q.Jobs[0].State != "queued" ||
+		q.Jobs[1].ID != wide.ID || q.Jobs[1].State != "running" {
+		t.Fatalf("queue ordering: %+v", q.Jobs)
+	}
+	// The blocked job has at least one recorded blocked pass with a
+	// reason — the explain surface served over HTTP.
+	jv, err := c.Job(blocked.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.Explain == nil || jv.Explain.BlockedPasses < 1 || len(jv.Explain.Blockers) == 0 {
+		t.Fatalf("explain breakdown missing: %+v", jv.Explain)
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE batch_jobs_submitted_total counter", "batch_queue_depth"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestServeSlamE2E is the full daemon exercise: a synthetic SWF trace
+// replayed by 8 concurrent submitters at high compression against the
+// wall-clock engine, with a deterministic per-user quota rejection
+// lane, live metrics scraped mid-run, and a subset of jobs canceled
+// mid-flight. Every accepted job must reach a terminal state and the
+// final report must balance.
+func TestServeSlamE2E(t *testing.T) {
+	const nodes, compress = 8, 5000
+	var buf bytes.Buffer
+	if err := batch.WriteSyntheticSWF(&buf, 11, 80, 4, nodes, 5); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := batch.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRejected := 0
+	for _, r := range recs {
+		if r.User == "u1" {
+			wantRejected++
+		}
+	}
+	if wantRejected == 0 {
+		t.Fatal("trace has no u1 jobs; the rejection lane is empty")
+	}
+
+	srv, base := startServer(t, Config{
+		Batch:    batch.Config{Cluster: testCluster(nodes), Policy: batch.Backfill},
+		Compress: compress,
+		// Every u1 submit prices at least 1 node-second — the whole
+		// user is a deterministic 429 lane.
+		UserQuotas: map[string]Quota{"u1": {MaxNodeSeconds: 0.5}},
+	})
+
+	done := make(chan struct{})
+	var res SlamResult
+	var slamErr error
+	go func() {
+		defer close(done)
+		res, slamErr = Slam(SlamConfig{
+			Base: base, Trace: recs, Submitters: 8,
+			Compress: compress, MaxNodes: nodes, Timeout: 90 * time.Second,
+		})
+	}()
+
+	// Mid-run: wait for a live backlog, scrape metrics, cancel a
+	// couple of queued jobs through the front door.
+	c := &Client{Base: base}
+	waitDeadline := time.Now().Add(20 * time.Second)
+	for {
+		q, err := c.Queue()
+		if err == nil && q.Queued > 2 {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatal("queue never backed up under slam load")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("mid-run metrics scrape: %v", err)
+	}
+	for _, want := range []string{"batch_jobs_submitted_total", "batch_queue_depth", "batch_scheduler_passes_total"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("mid-run metrics missing %q", want)
+		}
+	}
+	canceled := 0
+	for attempts := 0; canceled < 2 && attempts < 50; attempts++ {
+		q, err := c.Queue()
+		if err != nil {
+			t.Fatalf("queue: %v", err)
+		}
+		for _, j := range q.Jobs {
+			if j.State != "queued" {
+				continue
+			}
+			if _, err := c.Cancel(j.ID); err == nil {
+				canceled++
+				if canceled >= 2 {
+					break
+				}
+			}
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no mid-flight cancel landed")
+	}
+
+	<-done
+	if slamErr != nil {
+		t.Fatalf("slam: %v", slamErr)
+	}
+	if res.Submitted != len(recs) || res.Rejected != wantRejected ||
+		res.Accepted != len(recs)-wantRejected {
+		t.Fatalf("slam accounting: %+v, want %d submitted / %d rejected", res, len(recs), wantRejected)
+	}
+	if res.JobsPerSec <= 0 || res.Wall <= 0 {
+		t.Fatalf("slam throughput: %+v", res)
+	}
+	if res.P99 < res.P50 {
+		t.Fatalf("latency percentiles inverted: %+v", res)
+	}
+
+	// Slam already drove every accepted job to a terminal state; the
+	// queue must be empty and the report must balance.
+	qs := srv.Engine().Snapshot()
+	if qs.Queued != 0 || qs.Running != 0 {
+		t.Fatalf("jobs still live after slam: %+v", qs)
+	}
+	rep := srv.Engine().Report()
+	if len(rep.Jobs) != res.Accepted {
+		t.Fatalf("report holds %d jobs, want %d", len(rep.Jobs), res.Accepted)
+	}
+	if rep.Canceled != canceled {
+		t.Fatalf("report canceled %d, want %d", rep.Canceled, canceled)
+	}
+	terminal := 0
+	for _, j := range rep.Jobs {
+		switch j.State {
+		case batch.Done, batch.Failed, batch.Canceled:
+			terminal++
+		}
+	}
+	if terminal != res.Accepted {
+		t.Fatalf("%d of %d accepted jobs terminal", terminal, res.Accepted)
+	}
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gpucluster/internal/batch"
+)
+
+// SlamConfig drives a load-generation run: an SWF trace replayed
+// against a live daemon by concurrent submitters at a time-compression
+// factor, measuring the submit-to-dispatch latency each job saw
+// through the HTTP front door.
+type SlamConfig struct {
+	// Base is the daemon's root URL.
+	Base string
+	// Trace is the arrival stream to replay. Each record's Submit
+	// offset is divided by Compress to place it on the wall clock.
+	Trace []batch.TraceJob
+	// Submitters is the number of concurrent client goroutines; <= 0
+	// means 8. Records are partitioned round-robin.
+	Submitters int
+	// Compress is the replay speed-up; <= 0 means 1000.
+	Compress float64
+	// MaxNodes clamps gang widths (archive traces come from machines
+	// of other sizes); <= 0 leaves them as recorded.
+	MaxNodes int
+	// Token authenticates every submitter (token-auth daemons); with
+	// an empty Token each record's trace user rides the X-User header.
+	Token string
+	// Timeout bounds the whole run, replay plus drain; <= 0 means 60s.
+	Timeout time.Duration
+}
+
+// SlamResult is the load report.
+type SlamResult struct {
+	// Submitted counts attempted submits; Accepted the 201s; Rejected
+	// the 429 quota refusals.
+	Submitted, Accepted, Rejected int
+	// Wall is the elapsed wall time from first submit to last terminal
+	// state.
+	Wall time.Duration
+	// P50 and P99 are submit-to-dispatch wall latency percentiles over
+	// jobs that dispatched.
+	P50, P99 time.Duration
+	// JobsPerSec is accepted jobs over Wall.
+	JobsPerSec float64
+}
+
+func (r SlamResult) String() string {
+	return fmt.Sprintf("slam: %d submitted, %d accepted, %d quota-rejected in %v (%.1f jobs/s); submit->dispatch p50 %v p99 %v",
+		r.Submitted, r.Accepted, r.Rejected, r.Wall.Round(time.Millisecond),
+		r.JobsPerSec, r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+}
+
+// slamKinds rotates workload classes across trace records the same way
+// the offline TraceJobs converter does.
+var slamKinds = []string{"lbm", "cg", "pde"}
+
+// Slam replays cfg.Trace against a running daemon and blocks until
+// every accepted job reaches a terminal state (or Timeout lapses).
+func Slam(cfg SlamConfig) (SlamResult, error) {
+	if cfg.Submitters <= 0 {
+		cfg.Submitters = 8
+	}
+	if cfg.Compress <= 0 {
+		cfg.Compress = 1000
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	var res SlamResult
+	if len(cfg.Trace) == 0 {
+		return res, errors.New("slam: empty trace")
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Timeout)
+	var (
+		mu       sync.Mutex
+		accepted []int
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := &Client{Base: cfg.Base, Token: cfg.Token}
+			for i := g; i < len(cfg.Trace); i += cfg.Submitters {
+				rec := cfg.Trace[i]
+				due := start.Add(time.Duration(float64(rec.Submit) / cfg.Compress))
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				nodes := rec.Procs
+				if nodes <= 0 {
+					nodes = 1
+				}
+				if cfg.MaxNodes > 0 && nodes > cfg.MaxNodes {
+					nodes = cfg.MaxNodes
+				}
+				est := rec.Req
+				if est <= 0 {
+					est = rec.Run
+				}
+				cl.User = rec.User
+				v, err := cl.Submit(JobSpec{
+					Name:     fmt.Sprintf("slam-%d", rec.ID),
+					Kind:     slamKinds[rec.ID%len(slamKinds)],
+					Nodes:    nodes,
+					Priority: rec.Queue,
+					EstSeconds: func() float64 {
+						if est > 0 {
+							return est.Seconds()
+						}
+						return 0
+					}(),
+					User: rec.User,
+				})
+				mu.Lock()
+				res.Submitted++
+				var apiErr *APIError
+				switch {
+				case err == nil:
+					res.Accepted++
+					accepted = append(accepted, v.ID)
+				case errors.As(err, &apiErr) && apiErr.IsQuota():
+					res.Rejected++
+				default:
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	// Drain: poll every accepted job to a terminal state, then read
+	// the dispatch stamps the server recorded.
+	cl := &Client{Base: cfg.Base, Token: cfg.Token}
+	var lat []time.Duration
+	for _, id := range accepted {
+		for {
+			v, err := cl.Job(id)
+			if err != nil {
+				return res, err
+			}
+			if s := v.State; s == "done" || s == "failed" || s == "canceled" {
+				if v.DispatchWallMS > 0 && v.SubmitWallMS > 0 {
+					lat = append(lat, time.Duration((v.DispatchWallMS-v.SubmitWallMS)*float64(time.Millisecond)))
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("slam: job %d still %s at timeout", id, v.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	res.Wall = time.Since(start)
+	if res.Wall > 0 {
+		res.JobsPerSec = float64(res.Accepted) / res.Wall.Seconds()
+	}
+	res.P50 = percentile(lat, 0.50)
+	res.P99 = percentile(lat, 0.99)
+	return res, nil
+}
+
+// percentile returns the q-quantile by nearest-rank over a copy.
+func percentile(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, k int) bool { return s[i] < s[k] })
+	idx := int(q*float64(len(s)-1) + 0.5)
+	return s[idx]
+}

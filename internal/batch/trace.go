@@ -57,8 +57,11 @@ type TraceJob struct {
 
 // ParseTrace reads an SWF-style trace. Records missing both a positive
 // requested time and a positive run time, or without a positive
-// processor count, are skipped (cancelled-before-start entries); any
-// unparsable field is an error.
+// processor count, are skipped (cancelled-before-start entries). Any
+// unparsable field is an error carrying the line number, as is any
+// negative value other than SWF's -1 "unknown" marker — a -3 runtime
+// or a negative gang width is a corrupt record, and clamping it to
+// zero would silently reshape the replayed workload.
 func ParseTrace(r io.Reader) ([]TraceJob, error) {
 	sc := bufio.NewScanner(r)
 	var out []TraceJob
@@ -87,6 +90,21 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 				return nil, err
 			}
 			vals[i-1] = v
+		}
+		// The fields the replay consumes must be non-negative or SWF's
+		// exact -1 unknown marker.
+		for _, c := range [...]struct {
+			field int
+			name  string
+		}{
+			{1, "job number"}, {2, "submit time"}, {4, "run time"},
+			{5, "allocated procs"}, {8, "requested procs"},
+			{9, "requested time"}, {12, "user id"},
+		} {
+			if v := vals[c.field-1]; v < 0 && v != -1 {
+				return nil, fmt.Errorf("batch: trace line %d field %d (%s): negative value %g (-1 is the only unknown marker)",
+					lineNo, c.field, c.name, v)
+			}
 		}
 		secs := func(v float64) time.Duration {
 			if v <= 0 {

@@ -138,3 +138,55 @@ func TestExampleTraceAllPolicies(t *testing.T) {
 		t.Errorf("fair-share light-user wait %v above easy %v", lightWait(fair), lightWait(easy))
 	}
 }
+
+// TestParseTraceMalformed pins the hardening sweep: every corrupt
+// shape is rejected with an error naming the offending line and field,
+// while SWF's -1 "unknown" marker stays legal everywhere the replay
+// reads.
+func TestParseTraceMalformed(t *testing.T) {
+	const good = "1 0 -1 300 -1 -1 -1 4 360 -1 1 7 1 -1 2 1 -1 -1"
+	mutate := func(field int, val string) string {
+		f := strings.Fields(good)
+		f[field-1] = val
+		return strings.Join(f, " ")
+	}
+	cases := []struct {
+		name    string
+		line    string
+		wantErr string // substring the error must carry; "" means legal
+	}{
+		{"short line", "1 2 3", "want >= 15"},
+		{"non-numeric run time", mutate(4, "abc"), "field 4"},
+		{"non-numeric procs", mutate(8, "four"), "field 8"},
+		{"negative job number", mutate(1, "-9"), "field 1 (job number)"},
+		{"negative submit", mutate(2, "-5"), "field 2 (submit time)"},
+		{"negative run time", mutate(4, "-300"), "field 4 (run time)"},
+		{"negative allocated procs", mutate(5, "-2"), "field 5 (allocated procs)"},
+		{"negative requested procs", mutate(8, "-4"), "field 8 (requested procs)"},
+		{"negative requested time", mutate(9, "-60"), "field 9 (requested time)"},
+		{"negative user id", mutate(12, "-7"), "field 12 (user id)"},
+		{"unknown submit marker", mutate(2, "-1"), ""},
+		{"unknown run marker", mutate(4, "-1"), ""},
+		{"unknown user marker", mutate(12, "-1"), ""},
+		{"fractional seconds", mutate(2, "0.5"), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The malformed record rides behind a good one, so the
+			// error must point at line 2, not line 1.
+			_, err := ParseTrace(strings.NewReader(good + "\n" + tc.line + "\n"))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("legal record rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed record %q accepted", tc.line)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) || !strings.Contains(err.Error(), "line 2") {
+				t.Fatalf("error %q lacks %q or the line number", err, tc.wantErr)
+			}
+		})
+	}
+}
