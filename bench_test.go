@@ -301,6 +301,48 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	b.ReportMetric(jobs*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// BenchmarkBatchThroughputScale is the datacenter-scale pin: one
+// million queued jobs drained on a 10,000-node cluster under EASY
+// backfill with a production-style bounded backfill depth
+// (Config.BackfillDepth; unbounded scans are quadratic in queue depth
+// and would take hours here). It exercises the free-range index, the
+// incremental count-based shadow, the tombstoned queue, and the
+// calendar event queue at the ROADMAP's target scale; the CI
+// bench-scale job runs it once per PR and fails on >10% jobs/s
+// regression against the committed baseline
+// (.github/bench-baseline.json). RunUntil is used instead of Run so the
+// measurement drains the scheduler without materializing a
+// million-entry report copy.
+func BenchmarkBatchThroughputScale(b *testing.B) {
+	const (
+		jobs  = 1_000_000
+		nodes = 10_000
+		depth = 512
+	)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mix := batch.SyntheticMix(1, jobs, nodes)
+		b.StartTimer()
+		s := batch.New(batch.Config{
+			Cluster:       batch.NewCluster(nodes, netsim.GigabitSwitch(nodes)),
+			Policy:        batch.Backfill,
+			BackfillDepth: depth,
+		})
+		for _, j := range mix {
+			if err := s.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.RunUntil(batch.Forever)
+		for _, j := range mix {
+			if j.State != batch.Done {
+				b.Fatalf("job %d ended %v, want done", j.ID, j.State)
+			}
+		}
+	}
+	b.ReportMetric(jobs*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // BenchmarkBatchThroughputRecorder is BenchmarkBatchThroughput with a
 // MemRecorder attached — the observability tax when lifecycle tracing
 // is on. Compare against the base benchmark (and the schema-3

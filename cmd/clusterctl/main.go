@@ -19,6 +19,7 @@
 //	clusterctl -placement both                 # compare placement engines too
 //	clusterctl -execute -jobs 8                # actually run the workloads
 //	clusterctl -bench-json BENCH_batch.json    # emit the CI perf snapshot
+//	clusterctl -bench-json B.json -bench-scale # + the 1M-job/10k-node drain
 //	clusterctl -trace-out run.json             # Perfetto trace of the first run
 //	clusterctl -explain 7                      # why job 7 waited, pass by pass
 //	clusterctl -metrics-out -                  # Prometheus metrics to stdout
@@ -93,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "replay an SWF-style workload trace instead of the synthetic mix")
 	execute := fs.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
 	benchJSON := fs.String("bench-json", "", "write a scheduler throughput/makespan snapshot to this file and exit")
+	benchScale := fs.Bool("bench-scale", false, "with -bench-json: also drain the pinned 1M-job queue on a 10k-node machine and record its jobs/s (takes minutes)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (ui.perfetto.dev) of the first run to this file")
 	explainID := fs.Int("explain", 0, "print the per-pass blocker breakdown for this job ID after the first run (0 disables)")
 	metricsOut := fs.String("metrics-out", "", "write Prometheus text-format metrics of the first run to this file (- for stdout)")
@@ -120,10 +122,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(stdout, *benchJSON, *nodes, *seed); err != nil {
+		if err := writeBenchJSON(stdout, *benchJSON, *nodes, *seed, *benchScale); err != nil {
 			return fail("%v", err)
 		}
 		return 0
+	}
+	if *benchScale {
+		return fail("-bench-scale only applies together with -bench-json")
 	}
 
 	var policies []batch.Policy
@@ -371,6 +376,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 // within a few percent. Schema 4 adds the serving front door: submit-
 // to-dispatch latency percentiles and accepted-job throughput from a
 // pinned slam run against an in-process clusterctl-serve daemon.
+// Schema 5 adds the datacenter-scale row: the pinned 1M-job/10k-node
+// drain (indexed placement, incremental shadows, calendar event queue)
+// and its jobs/s — zero in snapshots written without -bench-scale, so
+// the quick bench job and the scale job share one schema.
 type benchSnapshot struct {
 	Schema        int                `json:"schema"`
 	Nodes         int                `json:"nodes"`
@@ -392,14 +401,24 @@ type benchSnapshot struct {
 	ServeP50MS    float64            `json:"serve_submit_p50_ms"`
 	ServeP99MS    float64            `json:"serve_submit_p99_ms"`
 	ServeJobsSec  float64            `json:"serve_jobs_per_sec"`
+	// Scale* record the -bench-scale drain (schema 5); all zero when the
+	// snapshot was written without it.
+	ScaleNodes         int     `json:"scale_nodes"`
+	ScaleJobs          int     `json:"scale_jobs"`
+	ScaleBackfillDepth int     `json:"scale_backfill_depth"`
+	ScaleWallMS        float64 `json:"scale_wall_ms"`
+	ScaleJobsPerSec    float64 `json:"scale_jobs_per_sec"`
 }
 
 // writeBenchJSON measures scheduling throughput (jobs/s through a
 // 1000-job EASY queue, wall clock, with and without a recorder
 // attached), the default-mix schedule quality under each policy, and
 // the contended checkpoint cost model (preempt + 300s quantum, default
-// perfmodel prices), then writes the snapshot for the CI artifact.
-func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error {
+// perfmodel prices), then writes the snapshot for the CI artifact. With
+// scale set it also drains the pinned datacenter-scale queue — the same
+// configuration BenchmarkBatchThroughputScale pins — and records its
+// jobs/s for the bench-scale regression gate.
+func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64, scale bool) error {
 	run := func(pol batch.Policy, count int, preempt bool, quantum time.Duration, suspend bool, rec batch.Recorder) (batch.Report, time.Duration, error) {
 		s := batch.New(batch.Config{
 			Cluster:       batch.NewCluster(nodes, netsim.GigabitSwitch(nodes)),
@@ -437,7 +456,7 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error 
 		return err
 	}
 	snap := benchSnapshot{
-		Schema:        4,
+		Schema:        5,
 		Nodes:         nodes,
 		Seed:          seed,
 		BenchJobs:     benchJobs,
@@ -486,6 +505,14 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error 
 	snap.ServeP50MS = ms(serve.P50)
 	snap.ServeP99MS = ms(serve.P99)
 	snap.ServeJobsSec = serve.JobsPerSec
+	if scale {
+		wall, err := runScaleBench(&snap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "clusterctl: scale drain: %d jobs on %d nodes in %v (%.0f jobs/s)\n",
+			snap.ScaleJobs, snap.ScaleNodes, wall.Round(time.Second), snap.ScaleJobsPerSec)
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -497,6 +524,43 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64) error 
 	fmt.Fprintf(stdout, "clusterctl: wrote %s (%.0f jobs/s scheduling throughput, %.0f with recorder, easy makespan %.0f ms, serve p99 %.1f ms)\n",
 		path, snap.JobsPerSec, snap.RecJobsPerSec, snap.MakespanMS["easy"], snap.ServeP99MS)
 	return nil
+}
+
+// runScaleBench drains the pinned datacenter-scale queue — 1M jobs on
+// 10k nodes under EASY backfill with the scan depth capped at 512, the
+// exact configuration BenchmarkBatchThroughputScale pins — and fills
+// the snapshot's Scale* fields. The depth cap bounds per-pass scan work
+// (an unbounded backfill scan over a million-job queue is quadratic);
+// it prunes effort only, never reorders the examined prefix
+// (TestBackfillDepth). RunUntil is used instead of Run so the wall
+// clock measures scheduling, not the copy of a million-entry report.
+func runScaleBench(snap *benchSnapshot) (time.Duration, error) {
+	const scaleNodes, scaleJobs, scaleDepth = 10_000, 1_000_000, 512
+	s := batch.New(batch.Config{
+		Cluster:       batch.NewCluster(scaleNodes, netsim.GigabitSwitch(scaleNodes)),
+		Policy:        batch.Backfill,
+		BackfillDepth: scaleDepth,
+	})
+	mix := batch.SyntheticMix(1, scaleJobs, scaleNodes)
+	t0 := time.Now()
+	for _, j := range mix {
+		if err := s.Submit(j); err != nil {
+			return 0, fmt.Errorf("scale bench submit: %w", err)
+		}
+	}
+	s.RunUntil(batch.Forever)
+	wall := time.Since(t0)
+	for _, j := range mix {
+		if j.State != batch.Done {
+			return 0, fmt.Errorf("scale bench: %s ended %v, want done", j, j.State)
+		}
+	}
+	snap.ScaleNodes = scaleNodes
+	snap.ScaleJobs = scaleJobs
+	snap.ScaleBackfillDepth = scaleDepth
+	snap.ScaleWallMS = float64(wall.Microseconds()) / 1e3
+	snap.ScaleJobsPerSec = scaleJobs / wall.Seconds()
+	return wall, nil
 }
 
 // find returns the report for one (placement, policy) run.

@@ -23,6 +23,15 @@
 // All scheduling time is virtual (time.Duration since scheduler start);
 // nothing sleeps. Only workload execution — when an Executor is
 // attached — does real work.
+//
+// The hot paths are indexed rather than scanned (index.go): placement
+// enumerates an incrementally maintained free-range set, the backfill
+// shadow descends an order-statistic treap over running completion
+// events, future arrivals sit in a calendar queue, and the pending
+// queue removes in O(1) via tombstones — so the same event loop that
+// schedules the paper's 32 nodes drains a million-job queue on ten
+// thousand (see docs/PERFORMANCE.md). DebugVerifyShadows cross-checks
+// the incremental shadow against the full replay it replaced.
 package batch
 
 import (
@@ -188,6 +197,7 @@ type Job struct {
 	// either extends the slice or suspends the gang at the boundary.
 	sliceFull time.Duration // true end of the current segment if never sliced
 	rrStamp   time.Duration // last slice-suspension instant (round-robin key)
+	qpos      int           // index in the pending queue's slice (-1 when absent)
 
 	// Counters and flags, grouped at the tail so they pack — queue
 	// scans walk thousands of pending jobs per pass and are

@@ -69,6 +69,7 @@ func (s *Scheduler) cancelRunning(j *Job) {
 	for i, r := range s.running {
 		if r == j {
 			heap.Remove(&s.running, i)
+			s.ends.del(j.End, j.ID)
 			break
 		}
 	}

@@ -244,7 +244,7 @@ func TestCancelPropertySweep(t *testing.T) {
 			}
 			firstQueued := func() *Job {
 				for _, j := range s.pending.jobs {
-					if j.State == Queued && !j.hostImage && j.arrive <= s.Now() {
+					if j != nil && j.State == Queued && !j.hostImage && j.arrive <= s.Now() {
 						return j
 					}
 				}

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -88,7 +89,11 @@ func (a Allocation) String() string {
 
 // Cluster is the resource manager's machine state: nodes on the
 // simulated switch, a free/used bitmap for gang allocation, and
-// per-node busy accounting for the utilization report.
+// per-node busy accounting for the utilization report. The bitmap
+// stays authoritative for hypothetical-state probes (canPlace over a
+// copy), but live enumeration goes through the incrementally
+// maintained free-range index (index.go), so placement probes cost
+// O(free runs) instead of O(nodes).
 type Cluster struct {
 	nodes []NodeSpec
 	net   netsim.Config
@@ -102,6 +107,26 @@ type Cluster struct {
 	// fragSamples/fragSum sample the free-fragment count at each
 	// allocation instant, the report's fragmentation statistic.
 	fragSamples, fragSum int
+
+	// idx is the ordered free-range set, split on commit and merged on
+	// Release — live candidate enumeration and the O(1) fragment count.
+	idx freeIndex
+	// constrained flags nodes the uniform fast paths must inspect
+	// individually: a spec diverging from the construction default, or
+	// a suspend-to-host reservation pinning memory. When the set is
+	// empty, every free node is eligible for every admitted job and the
+	// count-based shadow in sched.go is exact.
+	constrained  bitset
+	nConstrained int
+	baseMem      int64
+	// memSorted caches the per-node memory specs ascending for the
+	// NodesWithMem admission count; SetSpec invalidates it.
+	memSorted []int64
+	memDirty  bool
+	// runBuf and candBuf are scratch for eligibleRuns/candidates, so
+	// steady-state placement probes allocate nothing.
+	runBuf  []NodeRange
+	candBuf []candidate
 }
 
 // NewCluster builds an n-node cluster attached to the given switch
@@ -117,15 +142,35 @@ func NewCluster(n int, net netsim.Config) *Cluster {
 		busy:     make([]time.Duration, n),
 		free:     n,
 		reserved: make([]int64, n),
+		baseMem:  2560 << 20,
+		memDirty: true,
 	}
 	for i := range c.nodes {
 		group := 0
 		if net.NonBlockingPorts > 0 && i >= net.NonBlockingPorts {
 			group = 1
 		}
-		c.nodes[i] = NodeSpec{GPUs: 1, MemBytes: 2560 << 20, Group: group}
+		c.nodes[i] = NodeSpec{GPUs: 1, MemBytes: c.baseMem, Group: group}
 	}
+	c.idx.init(n)
+	c.constrained.init(n)
 	return c
+}
+
+// refreshConstrained recomputes node i's membership in the constrained
+// set: divergent memory spec, or a live suspend-to-host reservation.
+func (c *Cluster) refreshConstrained(i int) {
+	if c.nodes[i].MemBytes != c.baseMem || c.reserved[i] != 0 {
+		if !c.constrained.has(i) {
+			c.constrained.set(i)
+			c.nConstrained++
+		}
+		return
+	}
+	if c.constrained.has(i) {
+		c.constrained.clear(i)
+		c.nConstrained--
+	}
 }
 
 // Size returns the node count.
@@ -137,7 +182,11 @@ func (c *Cluster) Spec(i int) NodeSpec { return c.nodes[i] }
 // SetSpec overrides node i's description, e.g. to model a heterogeneous
 // machine where some nodes carry less memory. The admission check and
 // the placement engine consult per-node specs, not a cluster-wide one.
-func (c *Cluster) SetSpec(i int, s NodeSpec) { c.nodes[i] = s }
+func (c *Cluster) SetSpec(i int, s NodeSpec) {
+	c.nodes[i] = s
+	c.memDirty = true
+	c.refreshConstrained(i)
+}
 
 // Net returns the interconnect configuration.
 func (c *Cluster) Net() netsim.Config { return c.net }
@@ -148,15 +197,20 @@ func (c *Cluster) FreeNodes() int { return c.free }
 // NodesWithMem counts nodes (busy or not) offering at least need bytes,
 // the admission-feasibility bound checked at submit. Deliberately
 // spec-based: transient suspend-to-host reservations must not bounce a
-// submission the machine can serve once images demote or resume.
+// submission the machine can serve once images demote or resume. The
+// count is a binary search over a cached sorted spec list, so the
+// per-Submit cost is O(log nodes).
 func (c *Cluster) NodesWithMem(need int64) int {
-	n := 0
-	for _, s := range c.nodes {
-		if s.MemBytes >= need {
-			n++
+	if c.memDirty {
+		c.memSorted = c.memSorted[:0]
+		for _, s := range c.nodes {
+			c.memSorted = append(c.memSorted, s.MemBytes)
 		}
+		sort.Slice(c.memSorted, func(i, k int) bool { return c.memSorted[i] < c.memSorted[k] })
+		c.memDirty = false
 	}
-	return n
+	i := sort.Search(len(c.memSorted), func(i int) bool { return c.memSorted[i] >= need })
+	return len(c.memSorted) - i
 }
 
 // avail returns node i's memory available to a new placement: its spec
@@ -166,12 +220,17 @@ func (c *Cluster) avail(i int) int64 { return c.nodes[i].MemBytes - c.reserved[i
 // NodesWithAvail counts nodes (busy or not) whose *available* memory —
 // spec minus resident suspended images — covers need: the capacity
 // bound reservation planning uses, where NodesWithMem's spec-based
-// count would promise slots that pinned images cannot honor.
+// count would promise slots that pinned images cannot honor. Only the
+// constrained set is inspected individually: a node with the default
+// spec and no reservation always offers exactly baseMem.
 func (c *Cluster) NodesWithAvail(need int64) int {
-	n := 0
-	for i := range c.nodes {
-		if c.avail(i) >= need {
-			n++
+	n := c.NodesWithMem(need)
+	if c.nConstrained == 0 {
+		return n
+	}
+	for i := c.constrained.nextSet(0); i >= 0; i = c.constrained.nextSet(i + 1) {
+		if c.nodes[i].MemBytes >= need && c.avail(i) < need {
+			n--
 		}
 	}
 	return n
@@ -187,7 +246,11 @@ func (c *Cluster) reserve(a Allocation, bytes int64) {
 	for _, r := range a.Ranges {
 		for i := r.First; i < r.First+r.Count; i++ {
 			c.reserved[i] += bytes
+			c.refreshConstrained(i)
 		}
+	}
+	if debugCheckIndex {
+		c.idx.verify(c.used)
 	}
 }
 
@@ -199,6 +262,7 @@ func (c *Cluster) unreserve(a Allocation, bytes int64) {
 			if c.reserved[i] < 0 {
 				panic(fmt.Sprintf("batch: negative memory reservation on node %d", i))
 			}
+			c.refreshConstrained(i)
 		}
 	}
 }
@@ -240,23 +304,36 @@ func (c *Cluster) Alloc(k int) (Allocation, bool) {
 	return c.commit(cands[0]), true
 }
 
-// commit marks a candidate's nodes used and builds its Allocation.
+// commit marks a candidate's nodes used and builds its Allocation. The
+// candidate's ranges (or its inline single window) are copied into the
+// Allocation, never aliased — candidates reuse the cluster's scratch
+// buffers and the home-resume path passes a live Allocation's slice.
 func (c *Cluster) commit(cand candidate) Allocation {
+	var rs []NodeRange
+	if cand.single.Count > 0 {
+		rs = []NodeRange{cand.single}
+	} else {
+		rs = append([]NodeRange(nil), cand.ranges...)
+	}
 	total := 0
-	for _, r := range cand.ranges {
+	for _, r := range rs {
 		for i := r.First; i < r.First+r.Count; i++ {
 			if c.used[i] {
 				panic(fmt.Sprintf("batch: double allocation of node %d", i))
 			}
 			c.used[i] = true
 		}
+		c.idx.alloc(r.First, r.Count)
 		total += r.Count
 	}
 	c.free -= total
 	c.fragSamples++
-	c.fragSum += c.freeFragCount()
+	c.fragSum += c.idx.runs
+	if debugCheckIndex {
+		c.idx.verify(c.used)
+	}
 	return Allocation{
-		Ranges:       append([]NodeRange(nil), cand.ranges...),
+		Ranges:       rs,
 		Count:        total,
 		Grid:         sched.Arrange3D(total),
 		CrossesTrunk: cand.crosses,
@@ -274,11 +351,17 @@ func (c *Cluster) Release(a Allocation, ran time.Duration) {
 			c.used[i] = false
 			c.busy[i] += ran
 		}
+		c.idx.release(r.First, r.Count)
 		c.free += r.Count
+	}
+	if debugCheckIndex {
+		c.idx.verify(c.used)
 	}
 }
 
-// freeFragCount counts the maximal free runs in the bitmap.
+// freeFragCount counts the maximal free runs by scanning the bitmap —
+// the brute-force reference the index property suite checks c.idx.runs
+// against; live accounting reads the index instead.
 func (c *Cluster) freeFragCount() int {
 	frags := 0
 	inRun := false

@@ -43,29 +43,24 @@ type profile struct {
 
 // buildProfile snapshots the current machine state: busy nodes now,
 // dropping as each running job (or checkpoint drain) ends on schedule.
+// The completion events come from the end-time treap's in-order walk —
+// already (End, ID)-sorted — so a pass no longer collects and sorts the
+// running set; equal instants merge additively exactly as the sorted
+// event list did.
 func (s *Scheduler) buildProfile() *profile {
-	type ev struct {
-		t     time.Duration
-		delta int
-	}
-	evs := make([]ev, 0, len(s.running))
-	for _, r := range s.running {
-		evs = append(evs, ev{r.End, -r.Alloc.Count})
-	}
-	sort.Slice(evs, func(i, k int) bool { return evs[i].t < evs[k].t })
 	p := &profile{
 		times: []time.Duration{s.now},
 		busy:  []int{s.cfg.Cluster.Size() - s.cfg.Cluster.FreeNodes()},
 	}
-	for _, e := range evs {
+	s.ends.inorder(func(end time.Duration, count int) {
 		last := len(p.times) - 1
-		if e.t == p.times[last] {
-			p.busy[last] += e.delta
-			continue
+		if end == p.times[last] {
+			p.busy[last] -= count
+			return
 		}
-		p.times = append(p.times, e.t)
-		p.busy = append(p.busy, p.busy[last]+e.delta)
-	}
+		p.times = append(p.times, end)
+		p.busy = append(p.busy, p.busy[last]-count)
+	})
 	return p
 }
 
@@ -139,7 +134,7 @@ func (s *Scheduler) conservativePass() bool {
 	head := true
 	jumped := false // an earlier job is held to a future reservation
 	for _, j := range s.pending.ordered(s.less) {
-		if j.arrive > s.now {
+		if j == nil || j.arrive > s.now {
 			continue
 		}
 		// Reservations use the worst-case trunk stretch and the

@@ -284,6 +284,9 @@ func (e *Engine) Snapshot() QueueStatus {
 		Finished: len(s.finished),
 	}
 	for _, j := range s.pending.ordered(s.less) {
+		if j == nil {
+			continue
+		}
 		qs.Jobs = append(qs.Jobs, jobStatus(j))
 	}
 	running := make([]*Job, len(s.running))
@@ -315,7 +318,9 @@ func (e *Engine) Load(user string) UserLoad {
 		l.NodeSeconds += float64(j.Nodes) * j.estLeft().Seconds()
 	}
 	for _, j := range e.s.pending.jobs {
-		add(j)
+		if j != nil {
+			add(j)
+		}
 	}
 	for _, j := range e.s.running {
 		add(j)

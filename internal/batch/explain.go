@@ -117,7 +117,7 @@ func (s *Scheduler) explainRest(pass int, rest []*Job) {
 		return
 	}
 	for _, j := range rest {
-		if j.arrive > s.now {
+		if j == nil || j.arrive > s.now {
 			continue
 		}
 		s.explain(pass, j, ReasonHeadOfLine, 0)

@@ -1,0 +1,536 @@
+package batch
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Datacenter-scale index structures. Three hot paths used to be linear
+// scans over the whole machine or the whole queue, and all three fall
+// over at 10k nodes / 1M jobs:
+//
+//   - free-node enumeration: candidates()/firstFit walked every node
+//     per placement probe — freeIndex keeps the maximal free runs
+//     incrementally (split on commit, merge on release) plus a
+//     constrained-node set, so enumeration is O(free runs), the
+//     fragment count is O(1), and the memory-admission count is a
+//     binary search;
+//   - the EASY/conservative shadow: shadowStart replayed every running
+//     job against a bitmap copy per blocked pass — endTreap keeps the
+//     running completion events in an order-statistic tree, so the
+//     count-based shadow is one O(log running) prefix-sum descent and
+//     the conservative profile is one in-order walk instead of a
+//     per-pass sort;
+//   - the next-arrival search: nextEvent scanned every pending job —
+//     calendarQueue radix-buckets future arrivals by coarse virtual
+//     instant, so the next event peek touches one bucket.
+//
+// DebugVerifyShadows cross-checks the incremental shadow against the
+// full replay, and debugCheckIndex re-derives the free-range index from
+// the bitmap after every mutation; the index property suite
+// (index_test.go) runs both across all four policies with preemption,
+// time-slicing, and suspend-to-host in play.
+
+// DebugVerifyShadows, when set, makes every incremental (count-based)
+// EASY shadow computation also run the full bitmap replay it replaced
+// and panic on any disagreement. It exists for tests — the property
+// suite enables it — and costs the old O(running x nodes) replay per
+// blocked pass, so leave it off in production runs.
+var DebugVerifyShadows bool
+
+// debugCheckIndex re-derives the free-range index from the used bitmap
+// after every cluster mutation and panics on drift (tests only).
+var debugCheckIndex bool
+
+// bitset is a two-level bitmap over node indices: words holds the bits,
+// summary marks the non-zero words, so next/prev-set-bit queries skip
+// empty regions 4096 indices at a time. All operations are
+// allocation-free after init.
+type bitset struct {
+	words   []uint64
+	summary []uint64
+	n       int
+}
+
+func (b *bitset) init(n int) {
+	b.n = n
+	b.words = make([]uint64, (n+63)/64)
+	b.summary = make([]uint64, (len(b.words)+63)/64)
+}
+
+func (b *bitset) set(i int) {
+	w := i >> 6
+	b.words[w] |= 1 << uint(i&63)
+	b.summary[w>>6] |= 1 << uint(w&63)
+}
+
+func (b *bitset) clear(i int) {
+	w := i >> 6
+	b.words[w] &^= 1 << uint(i&63)
+	if b.words[w] == 0 {
+		b.summary[w>>6] &^= 1 << uint(w&63)
+	}
+}
+
+func (b *bitset) has(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// nextSet returns the smallest set index >= i, or -1.
+func (b *bitset) nextSet(i int) int {
+	if i >= b.n {
+		return -1
+	}
+	w := i >> 6
+	if m := b.words[w] & (^uint64(0) << uint(i&63)); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m)
+	}
+	// Scan the summary for the next non-zero word.
+	sw := (w + 1) >> 6
+	if sw >= len(b.summary) {
+		return -1
+	}
+	if m := b.summary[sw] & (^uint64(0) << uint((w+1)&63)); m != 0 {
+		w = sw<<6 + bits.TrailingZeros64(m)
+		return w<<6 + bits.TrailingZeros64(b.words[w])
+	}
+	for sw++; sw < len(b.summary); sw++ {
+		if b.summary[sw] != 0 {
+			w = sw<<6 + bits.TrailingZeros64(b.summary[sw])
+			return w<<6 + bits.TrailingZeros64(b.words[w])
+		}
+	}
+	return -1
+}
+
+// prevSet returns the largest set index <= i, or -1.
+func (b *bitset) prevSet(i int) int {
+	if i < 0 {
+		return -1
+	}
+	if i >= b.n {
+		i = b.n - 1
+	}
+	w := i >> 6
+	if m := b.words[w] & (^uint64(0) >> uint(63-i&63)); m != 0 {
+		return w<<6 + 63 - bits.LeadingZeros64(m)
+	}
+	if w == 0 {
+		return -1
+	}
+	sw := (w - 1) >> 6
+	if m := b.summary[sw] & (^uint64(0) >> uint(63-(w-1)&63)); m != 0 {
+		w = sw<<6 + 63 - bits.LeadingZeros64(m)
+		return w<<6 + 63 - bits.LeadingZeros64(b.words[w])
+	}
+	for sw--; sw >= 0; sw-- {
+		if b.summary[sw] != 0 {
+			w = sw<<6 + 63 - bits.LeadingZeros64(b.summary[sw])
+			return w<<6 + 63 - bits.LeadingZeros64(b.words[w])
+		}
+	}
+	return -1
+}
+
+// freeIndex is the ordered free-range set: every maximal run of
+// unallocated nodes, keyed by start (the starts bitset, which gives
+// ascending enumeration) and by length (runLen at the start index,
+// startAt at the exclusive end index for O(1) merge on release). It is
+// maintained incrementally — commit splits a run in O(1) plus a
+// predecessor query, release merges with both neighbors in O(1) — so
+// the fragment count (runs) that the report samples at every
+// allocation no longer costs a bitmap scan.
+type freeIndex struct {
+	n       int
+	runLen  []int32 // valid at indices flagged in starts
+	startAt []int32 // by exclusive run end: start of the run ending there
+	starts  bitset
+	runs    int
+}
+
+func (x *freeIndex) init(n int) {
+	x.n = n
+	x.runLen = make([]int32, n)
+	x.startAt = make([]int32, n+1)
+	x.starts.init(n)
+	// One run covering the whole machine.
+	x.starts.set(0)
+	x.runLen[0] = int32(n)
+	x.startAt[n] = 0
+	x.runs = 1
+}
+
+// alloc removes [f, f+c) — which must lie inside one free run — from
+// the index, splitting the run into up to two remainders.
+func (x *freeIndex) alloc(f, c int) {
+	s := x.starts.prevSet(f)
+	if s < 0 || f+c > s+int(x.runLen[s]) {
+		panic(fmt.Sprintf("batch: free index: alloc [%d,%d) outside any free run", f, f+c))
+	}
+	e := s + int(x.runLen[s])
+	x.starts.clear(s)
+	x.runs--
+	if f > s { // left remainder [s, f)
+		x.starts.set(s)
+		x.runLen[s] = int32(f - s)
+		x.startAt[f] = int32(s)
+		x.runs++
+	}
+	if f+c < e { // right remainder [f+c, e)
+		x.starts.set(f + c)
+		x.runLen[f+c] = int32(e - f - c)
+		x.startAt[e] = int32(f + c)
+		x.runs++
+	}
+}
+
+// release returns [f, f+c) to the index, merging with the adjacent free
+// runs on either side.
+func (x *freeIndex) release(f, c int) {
+	start, end := f, f+c
+	// Left neighbor: a valid run ending exactly at f.
+	if s := int(x.startAt[f]); f > 0 && s >= 0 && s < f && x.starts.has(s) && s+int(x.runLen[s]) == f {
+		x.starts.clear(s)
+		x.runs--
+		start = s
+	}
+	// Right neighbor: a run starting exactly at end.
+	if end < x.n && x.starts.has(end) {
+		e2 := end + int(x.runLen[end])
+		x.starts.clear(end)
+		x.runs--
+		end = e2
+	}
+	x.starts.set(start)
+	x.runLen[start] = int32(end - start)
+	x.startAt[end] = int32(start)
+	x.runs++
+}
+
+// appendRuns appends every free run in ascending start order.
+func (x *freeIndex) appendRuns(out []NodeRange) []NodeRange {
+	for s := x.starts.nextSet(0); s >= 0; s = x.starts.nextSet(s + 1) {
+		out = append(out, NodeRange{First: s, Count: int(x.runLen[s])})
+	}
+	return out
+}
+
+// verify re-derives the run set from the bitmap and panics on drift —
+// the debugCheckIndex hook the index property suite drives.
+func (x *freeIndex) verify(used []bool) {
+	want := make([]NodeRange, 0, x.runs)
+	start := -1
+	for i, u := range used {
+		switch {
+		case !u && start < 0:
+			start = i
+		case u && start >= 0:
+			want = append(want, NodeRange{First: start, Count: i - start})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		want = append(want, NodeRange{First: start, Count: len(used) - start})
+	}
+	got := x.appendRuns(make([]NodeRange, 0, x.runs))
+	if len(got) != len(want) || x.runs != len(want) {
+		panic(fmt.Sprintf("batch: free index drift: %d runs indexed (%v), bitmap has %d (%v)", len(got), got, len(want), want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("batch: free index drift at run %d: indexed %v, bitmap %v", i, got[i], want[i]))
+		}
+	}
+	for _, r := range want {
+		e := r.First + r.Count
+		if int(x.startAt[e]) != r.First {
+			panic(fmt.Sprintf("batch: free index drift: startAt[%d] = %d, want %d", e, x.startAt[e], r.First))
+		}
+	}
+}
+
+// endTreap is an order-statistic treap over running-job completion
+// events, keyed by (End, ID) with per-subtree node-count sums: the
+// persistent event-sorted capacity profile. coverTime answers the
+// incremental EASY shadow ("earliest completion instant by which at
+// least deficit nodes have freed") in O(log running); inorder walks
+// the events ascending for the conservative profile without the
+// per-pass sort buildProfile used to pay. Entries are added at
+// dispatch, removed at completion/drain pop, and re-keyed when a
+// checkpoint drain rewrites a victim's completion event.
+type endTreap struct {
+	nodes []endNode
+	free  []int32
+	root  int32
+}
+
+type endNode struct {
+	end   time.Duration
+	id    int
+	count int
+	sum   int // subtree total of count
+	prio  uint64
+	l, r  int32
+}
+
+func (t *endTreap) init() { t.root = -1 }
+
+func (t *endTreap) len() int {
+	if t.root < 0 {
+		return 0
+	}
+	// Number of events is not tracked separately; callers only need the
+	// sum and capacity hints, both O(1) from the root.
+	return len(t.nodes) - len(t.free)
+}
+
+// treapPrio derives a deterministic heap priority from the entry key —
+// replays insert the same keys in the same order, so the tree shape
+// (and every downstream iteration) is reproducible.
+func treapPrio(end time.Duration, id int) uint64 {
+	z := uint64(end) ^ uint64(id)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (t *endTreap) sumOf(h int32) int {
+	if h < 0 {
+		return 0
+	}
+	return t.nodes[h].sum
+}
+
+func (t *endTreap) update(h int32) {
+	n := &t.nodes[h]
+	n.sum = n.count + t.sumOf(n.l) + t.sumOf(n.r)
+}
+
+func (t *endTreap) keyLess(end time.Duration, id int, h int32) bool {
+	n := &t.nodes[h]
+	if end != n.end {
+		return end < n.end
+	}
+	return id < n.id
+}
+
+func (t *endTreap) rotRight(h int32) int32 {
+	l := t.nodes[h].l
+	t.nodes[h].l = t.nodes[l].r
+	t.nodes[l].r = h
+	t.update(h)
+	t.update(l)
+	return l
+}
+
+func (t *endTreap) rotLeft(h int32) int32 {
+	r := t.nodes[h].r
+	t.nodes[h].r = t.nodes[r].l
+	t.nodes[r].l = h
+	t.update(h)
+	t.update(r)
+	return r
+}
+
+// add inserts one completion event freeing count nodes at end.
+func (t *endTreap) add(end time.Duration, id, count int) {
+	var idx int32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.nodes = append(t.nodes, endNode{})
+		idx = int32(len(t.nodes) - 1)
+	}
+	t.nodes[idx] = endNode{end: end, id: id, count: count, sum: count, prio: treapPrio(end, id), l: -1, r: -1}
+	t.root = t.insert(t.root, idx)
+}
+
+func (t *endTreap) insert(h, x int32) int32 {
+	if h < 0 {
+		return x
+	}
+	if t.keyLess(t.nodes[x].end, t.nodes[x].id, h) {
+		t.nodes[h].l = t.insert(t.nodes[h].l, x)
+		if t.nodes[t.nodes[h].l].prio < t.nodes[h].prio {
+			return t.rotRight(h)
+		}
+	} else {
+		t.nodes[h].r = t.insert(t.nodes[h].r, x)
+		if t.nodes[t.nodes[h].r].prio < t.nodes[h].prio {
+			return t.rotLeft(h)
+		}
+	}
+	t.update(h)
+	return h
+}
+
+// del removes the event keyed (end, id); it panics if the key is
+// absent — the scheduler and the treap must never disagree about the
+// running set, and a silent miss here would surface as a wrong shadow
+// far from the bug.
+func (t *endTreap) del(end time.Duration, id int) {
+	found := false
+	t.root = t.remove(t.root, end, id, &found)
+	if !found {
+		panic(fmt.Sprintf("batch: end index: no event (%v, job %d)", end, id))
+	}
+}
+
+func (t *endTreap) remove(h int32, end time.Duration, id int, found *bool) int32 {
+	if h < 0 {
+		return -1
+	}
+	n := &t.nodes[h]
+	if end == n.end && id == n.id {
+		*found = true
+		h = t.sink(h)
+		return h
+	}
+	if t.keyLess(end, id, h) {
+		t.nodes[h].l = t.remove(t.nodes[h].l, end, id, found)
+	} else {
+		t.nodes[h].r = t.remove(t.nodes[h].r, end, id, found)
+	}
+	t.update(h)
+	return h
+}
+
+// sink rotates h down until it is a leaf, then frees it.
+func (t *endTreap) sink(h int32) int32 {
+	n := &t.nodes[h]
+	switch {
+	case n.l < 0 && n.r < 0:
+		t.free = append(t.free, h)
+		return -1
+	case n.l < 0 || (n.r >= 0 && t.nodes[n.r].prio < t.nodes[n.l].prio):
+		r := t.rotLeft(h)
+		t.nodes[r].l = t.sink(h)
+		t.update(r)
+		return r
+	default:
+		l := t.rotRight(h)
+		t.nodes[l].r = t.sink(h)
+		t.update(l)
+		return l
+	}
+}
+
+// coverTime returns the earliest event instant by which the cumulative
+// freed-node count reaches deficit — the incremental EASY shadow. ok is
+// false when even every tracked completion frees too few nodes.
+func (t *endTreap) coverTime(deficit int) (time.Duration, bool) {
+	h := t.root
+	for h >= 0 {
+		n := &t.nodes[h]
+		if ls := t.sumOf(n.l); ls >= deficit {
+			h = n.l
+		} else {
+			deficit -= ls + n.count
+			if deficit <= 0 {
+				return n.end, true
+			}
+			h = n.r
+		}
+	}
+	return 0, false
+}
+
+// inorder visits every event ascending by (end, id).
+func (t *endTreap) inorder(fn func(end time.Duration, count int)) {
+	var walk func(h int32)
+	walk = func(h int32) {
+		if h < 0 {
+			return
+		}
+		n := t.nodes[h]
+		walk(n.l)
+		fn(n.end, n.count)
+		walk(n.r)
+	}
+	walk(t.root)
+}
+
+// calendarQueue is a radix-bucketed event queue over future virtual
+// instants: entries hash into buckets by t >> calShift (~1s of virtual
+// time per bucket), a min-heap orders the occupied bucket keys, and
+// stale entries — jobs that arrived, were canceled, or were dispatched
+// — are discarded lazily on peek. It replaces nextEvent's linear
+// next-arrival scan over the whole pending queue: a peek touches the
+// earliest occupied bucket only.
+type calendarQueue struct {
+	buckets map[int64][]calEntry
+	keys    calKeyHeap
+}
+
+type calEntry struct {
+	at time.Duration
+	id int
+}
+
+// calShift is the bucket radix: 2^30 ns ≈ 1.07 s of virtual time.
+const calShift = 30
+
+func (c *calendarQueue) init() { c.buckets = make(map[int64][]calEntry) }
+
+// add registers a future arrival. Each job is added at most once (at
+// Submit, when its resolved arrival lies in the future).
+func (c *calendarQueue) add(at time.Duration, id int) {
+	k := int64(at) >> calShift
+	b, ok := c.buckets[k]
+	if !ok {
+		heap.Push(&c.keys, k)
+	}
+	c.buckets[k] = append(b, calEntry{at: at, id: id})
+}
+
+// next returns the earliest entry strictly after now whose job still
+// qualifies per live; entries at or before now, and entries whose job
+// no longer qualifies, are discarded as they are encountered. Valid
+// entries are peeked, not consumed — the clock passing them is what
+// retires them.
+func (c *calendarQueue) next(now time.Duration, live func(id int) bool) (time.Duration, bool) {
+	for len(c.keys) > 0 {
+		k := c.keys[0]
+		b := c.buckets[k]
+		kept := b[:0]
+		best := time.Duration(-1)
+		for _, e := range b {
+			if e.at <= now || !live(e.id) {
+				continue
+			}
+			kept = append(kept, e)
+			if best < 0 || e.at < best {
+				best = e.at
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.buckets, k)
+			heap.Pop(&c.keys)
+			continue
+		}
+		c.buckets[k] = kept
+		// Keys ascend with time, so the earliest entry of the first
+		// surviving bucket is the global minimum.
+		return best, true
+	}
+	return 0, false
+}
+
+type calKeyHeap []int64
+
+func (h calKeyHeap) Len() int            { return len(h) }
+func (h calKeyHeap) Less(i, k int) bool  { return h[i] < h[k] }
+func (h calKeyHeap) Swap(i, k int)       { h[i], h[k] = h[k], h[i] }
+func (h *calKeyHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *calKeyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,463 @@
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Property tests for the datacenter-scale index structures (index.go):
+// the free-range index, the end-event treap, and the calendar arrival
+// queue each shadow a state the scheduler also tracks directly, so
+// every test here cross-checks the index against the brute-force
+// linear-scan reference it replaced. debugCheckIndex additionally makes
+// the cluster itself re-derive the free-range set from the bitmap after
+// every mutation, and DebugVerifyShadows makes every incremental EASY
+// shadow re-run the full bitmap replay — both are switched on across
+// the whole crossed policy/preemption/quantum/suspend matrix.
+
+// refEligibleRuns is the linear-scan reference for eligibleRuns: the
+// maximal runs of free nodes whose available memory covers need.
+func refEligibleRuns(c *Cluster, need int64) []NodeRange {
+	var out []NodeRange
+	start := -1
+	for i := range c.nodes {
+		ok := !c.used[i] && c.avail(i) >= need
+		switch {
+		case ok && start < 0:
+			start = i
+		case !ok && start >= 0:
+			out = append(out, NodeRange{First: start, Count: i - start})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, NodeRange{First: start, Count: len(c.nodes) - start})
+	}
+	return out
+}
+
+// refNodesWithAvail is the brute-force reference for NodesWithAvail.
+func refNodesWithAvail(c *Cluster, need int64) int {
+	n := 0
+	for i := range c.nodes {
+		if c.avail(i) >= need {
+			n++
+		}
+	}
+	return n
+}
+
+// checkIndexAgainstScan cross-checks every index-backed cluster query
+// against its linear reference at the current state.
+func checkIndexAgainstScan(t *testing.T, c *Cluster, needs []int64) {
+	t.Helper()
+	c.idx.verify(c.used)
+	if got, want := c.idx.runs, c.freeFragCount(); got != want {
+		t.Fatalf("index counts %d free runs, bitmap scan counts %d", got, want)
+	}
+	for _, need := range needs {
+		got := append([]NodeRange(nil), c.eligibleRuns(need)...)
+		want := refEligibleRuns(c, need)
+		if len(got) != len(want) {
+			t.Fatalf("need %d: eligibleRuns %v, reference %v", need, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("need %d: eligibleRuns[%d] = %v, reference %v", need, i, got[i], want[i])
+			}
+		}
+		if got, want := c.NodesWithAvail(need), refNodesWithAvail(c, need); got != want {
+			t.Fatalf("need %d: NodesWithAvail %d, brute force %d", need, got, want)
+		}
+		for _, k := range []int{1, 2, 3, 7, 16, 40} {
+			runs := c.eligibleRuns(need)
+			if got, want := firstFitRuns(runs, k), c.firstFit(c.used, k, need); got != want {
+				t.Fatalf("need %d k %d: firstFitRuns %d, legacy firstFit %d (runs %v)", need, k, got, want, runs)
+			}
+		}
+	}
+}
+
+// TestFreeIndexMatchesScan drives the cluster through randomized
+// allocate/release/respec/reserve traffic and asserts after every
+// mutation that the incrementally maintained free-range index agrees
+// exactly with a fresh bitmap scan — run count, run boundaries,
+// eligible-run refinement, memory-admission counts, and first-fit
+// window choice.
+func TestFreeIndexMatchesScan(t *testing.T) {
+	debugCheckIndex = true
+	defer func() { debugCheckIndex = false }()
+
+	const nodes = 257 // deliberately not a multiple of 64: exercises bitset tails
+	c := newTestCluster(nodes)
+	rng := rand.New(rand.NewSource(42))
+	base := c.baseMem
+	needs := []int64{0, base / 2, base, base + 1}
+
+	// A few nodes get divergent specs up front, so the constrained-set
+	// refinement is live from the start.
+	for i := 0; i < 8; i++ {
+		n := rng.Intn(nodes)
+		s := c.Spec(n)
+		s.MemBytes = base / 2
+		c.SetSpec(n, s)
+	}
+
+	var live []Allocation
+	var pinned []Allocation // reservations to undo
+	for op := 0; op < 2000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // allocate
+			k := 1 + rng.Intn(24)
+			need := needs[rng.Intn(len(needs))]
+			pol := PlaceFirstFit
+			if rng.Intn(2) == 0 {
+				pol = PlaceTopo
+			}
+			cands := c.candidates(k, need, pol)
+			if len(cands) > 0 {
+				live = append(live, c.commit(cands[rng.Intn(len(cands))]))
+			}
+		case r < 7: // release
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				c.Release(live[i], time.Second)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		case r < 8: // flip one node's spec
+			n := rng.Intn(nodes)
+			s := c.Spec(n)
+			if s.MemBytes == base {
+				s.MemBytes = base / 2
+			} else {
+				s.MemBytes = base
+			}
+			c.SetSpec(n, s)
+		case r < 9: // pin memory (a suspended image staying resident)
+			f := rng.Intn(nodes - 4)
+			a := Allocation{Ranges: []NodeRange{{First: f, Count: 1 + rng.Intn(4)}}}
+			c.reserve(a, base/4)
+			pinned = append(pinned, a)
+		default: // unpin
+			if len(pinned) > 0 {
+				i := rng.Intn(len(pinned))
+				c.unreserve(pinned[i], base/4)
+				// unreserve has no debug hook of its own; verify here.
+				c.idx.verify(c.used)
+				pinned[i] = pinned[len(pinned)-1]
+				pinned = pinned[:len(pinned)-1]
+			}
+		}
+		if op%20 == 0 || op > 1900 {
+			checkIndexAgainstScan(t, c, needs)
+		}
+	}
+	checkIndexAgainstScan(t, c, needs)
+}
+
+// TestIndexPropertyAcrossPolicies reruns the crossed property matrix
+// with both debug cross-checks armed: debugCheckIndex re-derives the
+// free-range index from the bitmap after every cluster mutation, and
+// DebugVerifyShadows re-runs the full bitmap replay against every
+// incremental count-based EASY shadow. Any drift panics inside the run.
+// After each drain the end-event treap must be empty — every dispatch
+// pushed exactly one completion event and every completion, drain, and
+// cancellation popped it.
+func TestIndexPropertyAcrossPolicies(t *testing.T) {
+	debugCheckIndex = true
+	DebugVerifyShadows = true
+	defer func() { debugCheckIndex = false; DebugVerifyShadows = false }()
+
+	const nodes, count = 32, 120
+	for _, cfg := range propertyConfigs() {
+		cfg := cfg
+		name := fmt.Sprintf("%v/preempt=%v/quantum=%v/host=%v", cfg.Policy, cfg.Preempt, cfg.Quantum, cfg.SuspendToHost)
+		t.Run(name, func(t *testing.T) {
+			cfg.Cluster = newTestCluster(nodes)
+			s := New(cfg)
+			submitAll(t, s, SyntheticStream(5, count, nodes, 5*time.Second))
+			rep := s.Run()
+			if len(rep.Jobs) != count || rep.Failed != 0 {
+				t.Fatalf("finished %d of %d jobs, %d failed", len(rep.Jobs), count, rep.Failed)
+			}
+			for _, j := range rep.Jobs {
+				if j.State != Done {
+					t.Fatalf("%s ended %v", j, j.State)
+				}
+			}
+			if n := s.ends.len(); n != 0 {
+				t.Fatalf("end-event treap holds %d events after drain; every dispatch must be popped", n)
+			}
+		})
+	}
+}
+
+// TestCalendarMatchesLinearScan pins the calendar queue to the linear
+// next-arrival scan it replaced: before every event step the two must
+// agree on the next future arrival, including after cancellations leave
+// stale entries in the calendar buckets (discarded lazily via the
+// liveness probe).
+func TestCalendarMatchesLinearScan(t *testing.T) {
+	const nodes, count = 32, 250
+	cfg := Config{Cluster: newTestCluster(nodes), Policy: Backfill}
+	s := New(cfg)
+	jobs := SyntheticStream(9, count, nodes, 5*time.Second)
+	submitAll(t, s, jobs)
+
+	// The latest arrivals make the best cancellation targets: they stay
+	// queued (and calendar-registered) longest.
+	byArrive := append([]*Job(nil), jobs...)
+	sort.Slice(byArrive, func(i, k int) bool { return byArrive[i].arrive > byArrive[k].arrive })
+	toCancel := byArrive[:10]
+
+	steps := 0
+	for {
+		at, ok := s.arrivals.next(s.now, s.queuedLive)
+		refAt, refOK := s.pending.nextArrival(s.now)
+		if ok != refOK || (ok && at != refAt) {
+			t.Fatalf("step %d (t=%v): calendar says (%v,%v), linear scan says (%v,%v)",
+				steps, s.now, at, ok, refAt, refOK)
+		}
+		if steps == 5 {
+			// Cancel still-queued future arrivals mid-run: their calendar
+			// entries go stale and must be filtered, not returned.
+			for _, j := range toCancel {
+				if j.State == Queued {
+					if err := s.Cancel(j.ID); err != nil {
+						t.Fatalf("cancel %s: %v", j, err)
+					}
+				}
+			}
+		}
+		if !s.Step() {
+			break
+		}
+		steps++
+	}
+	if steps < 100 {
+		t.Fatalf("only %d event steps — the comparison barely ran", steps)
+	}
+}
+
+// TestEndTreapOrderStatistics drives the order-statistic treap through
+// random insert/delete traffic and checks coverTime and inorder against
+// a sorted-slice reference after every operation.
+func TestEndTreapOrderStatistics(t *testing.T) {
+	type ev struct {
+		end   time.Duration
+		id    int
+		count int
+	}
+	var tr endTreap
+	tr.init()
+	var ref []ev
+	rng := rand.New(rand.NewSource(7))
+
+	check := func() {
+		t.Helper()
+		sorted := append([]ev(nil), ref...)
+		sort.Slice(sorted, func(i, k int) bool {
+			if sorted[i].end != sorted[k].end {
+				return sorted[i].end < sorted[k].end
+			}
+			return sorted[i].id < sorted[k].id
+		})
+		// inorder must visit exactly the reference ascending by (end, id).
+		i := 0
+		tr.inorder(func(end time.Duration, count int) {
+			if i >= len(sorted) || end != sorted[i].end || count != sorted[i].count {
+				t.Fatalf("inorder entry %d: got (%v,%d), reference %+v", i, end, count, sorted)
+			}
+			i++
+		})
+		if i != len(sorted) {
+			t.Fatalf("inorder visited %d events, reference holds %d", i, len(sorted))
+		}
+		if tr.len() != len(sorted) {
+			t.Fatalf("treap len %d, reference %d", tr.len(), len(sorted))
+		}
+		// coverTime(d) must be the earliest instant where the running
+		// prefix sum of freed nodes reaches d.
+		total := 0
+		for _, e := range sorted {
+			total += e.count
+		}
+		for _, d := range []int{1, 2, 5, total, total + 1} {
+			if d <= 0 {
+				continue
+			}
+			wantAt, wantOK := time.Duration(0), false
+			sum := 0
+			for _, e := range sorted {
+				sum += e.count
+				if sum >= d {
+					wantAt, wantOK = e.end, true
+					break
+				}
+			}
+			gotAt, gotOK := tr.coverTime(d)
+			if gotOK != wantOK || (gotOK && gotAt != wantAt) {
+				t.Fatalf("coverTime(%d): got (%v,%v), want (%v,%v)", d, gotAt, gotOK, wantAt, wantOK)
+			}
+		}
+	}
+
+	nextID := 0
+	for op := 0; op < 1500; op++ {
+		if len(ref) == 0 || rng.Intn(3) > 0 {
+			e := ev{end: time.Duration(rng.Intn(50)) * time.Second, id: nextID, count: 1 + rng.Intn(64)}
+			nextID++
+			tr.add(e.end, e.id, e.count)
+			ref = append(ref, e)
+		} else {
+			i := rng.Intn(len(ref))
+			tr.del(ref[i].end, ref[i].id)
+			ref[i] = ref[len(ref)-1]
+			ref = ref[:len(ref)-1]
+		}
+		if op%10 == 0 {
+			check()
+		}
+	}
+	check()
+}
+
+// TestBackfillDepth pins the depth limit's contract: a depth at least
+// as deep as the queue reproduces the unlimited schedule bit for bit
+// (the limit only prunes scan effort, never reorders the examined
+// prefix), and even a tiny depth still drains every job.
+func TestBackfillDepth(t *testing.T) {
+	const nodes, count = 32, 300
+	run := func(depth int) Report {
+		cfg := Config{Cluster: newTestCluster(nodes), Policy: Backfill, BackfillDepth: depth}
+		s := New(cfg)
+		submitAll(t, s, SyntheticStream(3, count, nodes, 2*time.Second))
+		return s.Run()
+	}
+	unlimited, deep := run(0), run(count*2)
+	if unlimited.Makespan != deep.Makespan || unlimited.AvgWait != deep.AvgWait {
+		t.Fatalf("depth %d diverged from unlimited: makespan %v vs %v, wait %v vs %v",
+			count*2, deep.Makespan, unlimited.Makespan, deep.AvgWait, unlimited.AvgWait)
+	}
+	byID := make(map[int]*Job, count)
+	for _, j := range deep.Jobs {
+		byID[j.ID] = j
+	}
+	for _, j := range unlimited.Jobs {
+		k := byID[j.ID]
+		if k == nil || j.Start != k.Start || j.End != k.End {
+			t.Fatalf("job %d: unlimited ran [%v,%v), deep depth ran [%v,%v)", j.ID, j.Start, j.End, k.Start, k.End)
+		}
+	}
+	shallow := run(2)
+	if len(shallow.Jobs) != count || shallow.Failed != 0 {
+		t.Fatalf("depth 2 drained %d of %d jobs (%d failed)", len(shallow.Jobs), count, shallow.Failed)
+	}
+	for _, j := range shallow.Jobs {
+		if j.State != Done {
+			t.Fatalf("depth 2: %s ended %v", j, j.State)
+		}
+	}
+}
+
+// TestFairShareKeyOrder pins the epoch-normalized fair-share keys to
+// the live decayed-usage values they stand in for: after arbitrary
+// charge traffic — including clock jumps far past the renormalization
+// threshold — the pairwise order of keyOf must match the pairwise order
+// of usageOf for every user pair that is not a floating-point near-tie.
+func TestFairShareKeyOrder(t *testing.T) {
+	cfg := Config{Cluster: newTestCluster(8), Policy: FairShare, FairShareHalfLife: time.Minute}
+	s := New(cfg)
+	users := []string{"ada", "bob", "cho", "dee", "eva"}
+	rng := rand.New(rand.NewSource(11))
+
+	check := func() {
+		t.Helper()
+		for i := 0; i < len(users); i++ {
+			for k := i + 1; k < len(users); k++ {
+				u, v := users[i], users[k]
+				lu, lv := s.usageOf(u), s.usageOf(v)
+				// Skip floating-point near-ties: the key and the live value
+				// round differently at the ulp level, and the tie-break legs
+				// of the comparator absorb exact ties either way.
+				if d := lu - lv; d < 1e-9*(lu+lv+1) && d > -1e-9*(lu+lv+1) {
+					continue
+				}
+				ku, kv := s.keyOf(u), s.keyOf(v)
+				if (lu < lv) != (ku < kv) {
+					t.Fatalf("at %v: live usage orders (%s=%g, %s=%g) but keys order (%g, %g)",
+						s.now, u, lu, v, lv, ku, kv)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		// Mostly small clock advances; occasionally a jump far past the
+		// 64-half-life renormalization threshold.
+		if rng.Intn(40) == 0 {
+			s.now += time.Duration(70+rng.Intn(30)) * time.Minute
+		} else {
+			s.now += time.Duration(1+rng.Intn(5000)) * time.Millisecond
+		}
+		u := users[rng.Intn(len(users))]
+		s.chargeUsage(u, time.Duration(1+rng.Intn(600))*time.Second)
+		check()
+	}
+	if s.fsEpoch == 0 {
+		t.Fatal("renormalization never fired — the jump traffic must cross 64 half-lives")
+	}
+}
+
+// TestQueueTombstones exercises the tombstoned pending queue directly:
+// removal is by slot, ordering skips nils, and compaction preserves the
+// stable order and reindexes qpos.
+func TestQueueTombstones(t *testing.T) {
+	var q queue
+	mk := func(id int) *Job { return &Job{ID: id, qpos: -1} }
+	less := func(a, b *Job) bool { return a.ID < b.ID }
+	var ref []*Job
+	rng := rand.New(rand.NewSource(3))
+	for id := 0; id < 500; id++ {
+		j := mk(id)
+		q.push(j)
+		ref = append(ref, j)
+		if rng.Intn(3) == 0 && len(ref) > 0 {
+			i := rng.Intn(len(ref))
+			q.remove(ref[i])
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+		if q.len() != len(ref) {
+			t.Fatalf("queue len %d, reference %d", q.len(), len(ref))
+		}
+	}
+	want := append([]*Job(nil), ref...)
+	sort.SliceStable(want, func(i, k int) bool { return less(want[i], want[k]) })
+	var got []*Job
+	for _, j := range q.ordered(less) {
+		if j != nil {
+			got = append(got, j)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ordered yields %d live jobs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ordered[%d] = job %d, want job %d", i, got[i].ID, want[i].ID)
+		}
+		if got[i].qpos < 0 || q.jobs[got[i].qpos] != got[i] {
+			t.Fatalf("job %d qpos %d does not point back at its slot", got[i].ID, got[i].qpos)
+		}
+	}
+	// Remove-by-stale-pointer must be a no-op, not a wrong eviction.
+	gone := mk(9999)
+	q.remove(gone)
+	if q.len() != len(ref) {
+		t.Fatal("removing an absent job changed the queue length")
+	}
+}

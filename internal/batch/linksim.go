@@ -7,12 +7,12 @@ import (
 
 // The checkpoint store hangs off the same Gigabit fabric as everything
 // else: every drain writes its image over the shared link to the store,
-// and every restore reads it back over the same wire. PR 4 taught the
-// drain side that lesson (concurrent checkpoints serialize instead of
-// each assuming the full link); this file owns the generalization — a
-// single duplex link model with a write timeline *and* a read timeline,
-// so mass re-dispatches after a preemption wave serialize their
-// restores exactly the way the wave serialized its drains.
+// and every restore reads it back over the same wire. Concurrent
+// checkpoints therefore serialize instead of each assuming the full
+// link, and this file owns the generalization — a single duplex link
+// model with a write timeline *and* a read timeline, so mass
+// re-dispatches after a preemption wave serialize their restores
+// exactly the way the wave serialized its drains.
 
 // Duplex selects how the store link's two directions share the wire.
 type Duplex int

@@ -51,7 +51,12 @@ func ParsePlacement(s string) (Placement, error) {
 }
 
 // candidate is one potential gang placement, scored but not committed.
+// Contiguous windows — the overwhelmingly common case — are carried in
+// single (Count > 0) so candidate enumeration allocates no per-candidate
+// range slice; ranges is only populated for multi-range assemblies and
+// the suspend-to-host home-resume path.
 type candidate struct {
+	single  NodeRange
 	ranges  []NodeRange
 	crosses bool
 	score   float64
@@ -83,23 +88,29 @@ func (c *Cluster) candidates(k int, need int64, pol Placement) []candidate {
 	if k <= 0 || k > len(c.nodes) {
 		return nil
 	}
-	if pol == PlaceFirstFit {
-		if first := c.firstFit(c.used, k, need); first >= 0 {
-			rs := []NodeRange{{First: first, Count: k}}
-			return []candidate{{ranges: rs, crosses: c.rangesCrossTrunk(rs)}}
-		}
-		return nil
-	}
 	runs := c.eligibleRuns(need)
-	px := sched.Arrange3D(k).PX
-	var cands []candidate
+	cands := c.candBuf[:0]
+	if pol == PlaceFirstFit {
+		first := firstFitRuns(runs, k)
+		if first < 0 {
+			c.candBuf = cands
+			return nil
+		}
+		cands = append(cands, candidate{
+			single:  NodeRange{First: first, Count: k},
+			crosses: c.windowCrossesTrunk(first, k),
+		})
+		c.candBuf = cands
+		return cands
+	}
 	allCross := true
 	for _, r := range runs {
 		if r.Count < k {
 			continue
 		}
-		for _, first := range c.windowStarts(r, k) {
-			cand := c.scored(runs, []NodeRange{{First: first, Count: k}}, px)
+		starts, n := c.windowStarts(r, k)
+		for _, first := range starts[:n] {
+			cand := c.scoredWindow(runs, r, first, k)
 			allCross = allCross && cand.crosses
 			cands = append(cands, cand)
 		}
@@ -109,11 +120,13 @@ func (c *Cluster) candidates(k int, need int64, pol Placement) []candidate {
 	// split gang beats a crossing contiguous one (and may be the only
 	// placement whose stretched runtime honors a backfill shadow).
 	if len(cands) == 0 || allCross {
+		px := sched.Arrange3D(k).PX
 		for _, rs := range c.assemblies(runs, k) {
 			cands = append(cands, c.scored(runs, rs, px))
 		}
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	c.candBuf = cands
 	return cands
 }
 
@@ -137,25 +150,82 @@ func (c *Cluster) firstFit(used []bool, k int, need int64) int {
 	return -1
 }
 
-// eligibleRuns returns the maximal runs of free nodes with at least
-// need bytes of available memory, ascending.
-func (c *Cluster) eligibleRuns(need int64) []NodeRange {
-	var runs []NodeRange
-	start := -1
-	for i := range c.nodes {
-		ok := !c.used[i] && c.avail(i) >= need
-		switch {
-		case ok && start < 0:
-			start = i
-		case !ok && start >= 0:
-			runs = append(runs, NodeRange{First: start, Count: i - start})
-			start = -1
+// firstFitRuns returns the start of the first k-wide window over the
+// eligible runs, or -1 — the index-backed equivalent of the legacy
+// firstFit bitmap scan (a maximal eligible run holds a k-window exactly
+// when its length reaches k, and the leftmost such window starts at the
+// run's first node).
+func firstFitRuns(runs []NodeRange, k int) int {
+	for _, r := range runs {
+		if r.Count >= k {
+			return r.First
 		}
 	}
-	if start >= 0 {
-		runs = append(runs, NodeRange{First: start, Count: len(c.nodes) - start})
+	return -1
+}
+
+// eligibleRuns returns the maximal runs of free nodes with at least
+// need bytes of available memory, ascending. Runs come from the free
+// index and are refined against the constrained-node set, so the cost
+// is O(free runs + constrained nodes), independent of cluster size. The
+// returned slice aliases c.runBuf and is valid until the next call.
+func (c *Cluster) eligibleRuns(need int64) []NodeRange {
+	c.runBuf = c.runBuf[:0]
+	for f := c.idx.starts.nextSet(0); f >= 0; {
+		cnt := int(c.idx.runLen[f])
+		c.appendEligible(f, cnt, need)
+		f = c.idx.starts.nextSet(f + cnt)
 	}
-	return runs
+	return c.runBuf
+}
+
+// appendEligible splits the free run [f, f+cnt) into its eligible
+// sub-runs for a per-node need and appends them to c.runBuf. Default
+// nodes offer exactly baseMem, so only constrained nodes (divergent
+// spec or suspend-to-host reservation) are inspected individually.
+func (c *Cluster) appendEligible(f, cnt int, need int64) {
+	end := f + cnt
+	if need <= c.baseMem {
+		if c.nConstrained == 0 {
+			c.runBuf = append(c.runBuf, NodeRange{First: f, Count: cnt})
+			return
+		}
+		// Constrained nodes that still cover need stay in the run; the
+		// rest break it.
+		start := f
+		for i := c.constrained.nextSet(f); i >= 0 && i < end; i = c.constrained.nextSet(i + 1) {
+			if c.avail(i) >= need {
+				continue
+			}
+			if i > start {
+				c.runBuf = append(c.runBuf, NodeRange{First: start, Count: i - start})
+			}
+			start = i + 1
+		}
+		if end > start {
+			c.runBuf = append(c.runBuf, NodeRange{First: start, Count: end - start})
+		}
+		return
+	}
+	// need exceeds the default spec: only over-provisioned nodes — all
+	// of them constrained by definition — can host, so eligible runs
+	// are maximal stretches of adjacent qualifying constrained nodes.
+	start, prev := -1, -2
+	for i := c.constrained.nextSet(f); i >= 0 && i < end; i = c.constrained.nextSet(i + 1) {
+		if c.avail(i) < need {
+			continue
+		}
+		if i != prev+1 {
+			if start >= 0 {
+				c.runBuf = append(c.runBuf, NodeRange{First: start, Count: prev - start + 1})
+			}
+			start = i
+		}
+		prev = i
+	}
+	if start >= 0 {
+		c.runBuf = append(c.runBuf, NodeRange{First: start, Count: prev - start + 1})
+	}
 }
 
 // windowStarts returns the distinct k-wide window positions worth
@@ -163,28 +233,38 @@ func (c *Cluster) eligibleRuns(need int64) []NodeRange {
 // trunk-boundary-aligned positions (a window ending exactly at the
 // non-blocking port count, or starting exactly on the trunk side) when
 // the boundary cuts through the run. Any non-crossing window that
-// exists in the run is dominated by one of these.
-func (c *Cluster) windowStarts(r NodeRange, k int) []int {
+// exists in the run is dominated by one of these. At most four
+// positions exist, so the set is returned in a fixed array to keep
+// candidate enumeration allocation-free.
+func (c *Cluster) windowStarts(r NodeRange, k int) (starts [4]int, n int) {
 	end := r.First + r.Count
-	starts := []int{r.First}
-	appendUnique := func(s int) {
-		for _, have := range starts {
-			if have == s {
-				return
-			}
-		}
-		starts = append(starts, s)
+	starts[0] = r.First
+	n = 1
+	if s := end - k; s != r.First {
+		starts[n] = s
+		n++
 	}
-	appendUnique(end - k)
 	if nb := c.net.NonBlockingPorts; nb > r.First && nb < end {
-		if nb-k >= r.First {
-			appendUnique(nb - k)
+		if s := nb - k; s >= r.First && !containsInt(starts[:n], s) {
+			starts[n] = s
+			n++
 		}
-		if nb+k <= end {
-			appendUnique(nb)
+		if nb+k <= end && !containsInt(starts[:n], nb) {
+			starts[n] = nb
+			n++
 		}
 	}
-	return starts
+	return starts, n
+}
+
+// containsInt reports whether v occurs in xs.
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // assemblies builds non-contiguous node sets of k nodes from the free
@@ -262,6 +342,39 @@ func takeNodes(rs []NodeRange, k int) []NodeRange {
 		}
 	}
 	return nil
+}
+
+// windowCrossesTrunk reports whether the contiguous window [first,
+// first+k) spans both interconnect groups — rangesCrossTrunk without
+// materializing a range slice.
+func (c *Cluster) windowCrossesTrunk(first, k int) bool {
+	nb := c.net.NonBlockingPorts
+	return nb > 0 && nb < len(c.nodes) && first < nb && first+k > nb
+}
+
+// scoredWindow builds the candidate record for one contiguous k-wide
+// window inside eligible run r. A single range has no extra-range or
+// broken-row penalty, and the leftover fragmentation is computable in
+// O(1): every other eligible run survives intact, plus the zero, one,
+// or two pieces the window cuts r into. The arithmetic mirrors scored
+// term for term, so the float score is bit-identical to scoring the
+// materialized range slice.
+func (c *Cluster) scoredWindow(runs []NodeRange, r NodeRange, first, k int) candidate {
+	crosses := c.windowCrossesTrunk(first, k)
+	pieces := 0
+	if first > r.First {
+		pieces++
+	}
+	if first+k < r.First+r.Count {
+		pieces++
+	}
+	score := 0.0
+	if crosses {
+		score += scoreTrunkCross
+	}
+	score += scoreLeftover * float64(len(runs)-1+pieces)
+	score += scoreTieBreak * float64(first)
+	return candidate{single: NodeRange{First: first, Count: k}, crosses: crosses, score: score}
 }
 
 // scored builds the candidate record for one node set.

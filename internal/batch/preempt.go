@@ -340,7 +340,11 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 	}
 	v.overhead += (start - s.now) + cost
 	v.preempting = true
+	// The drain rewrites the completion event: re-key the end-time
+	// treap in step (the caller re-establishes heap order).
+	s.ends.del(v.End, v.ID)
 	v.End = start + cost
+	s.ends.add(v.End, v.ID, v.Alloc.Count)
 	s.ckptInFlight++
 	if v.slicing {
 		s.sliceEvents++

@@ -97,6 +97,16 @@ type Config struct {
 	// the topology-aware engine (PlaceTopo), PlaceFirstFit restores the
 	// legacy first-contiguous-window behavior.
 	Placement Placement
+	// BackfillDepth bounds how many queued candidates one backfill pass
+	// examines behind the blocked head (the EASY and fair-share
+	// disciplines): once that many arrived jobs have been considered,
+	// the pass stops scanning. Deep queues make unbounded scans
+	// quadratic — a million-job backlog costs a million probes per pass
+	// for a handful of possible starts — and production schedulers cap
+	// exactly this (cf. SLURM's bf_max_job_test). Zero means unlimited,
+	// preserving the exhaustive legacy behavior; the depth only prunes
+	// scan effort, it never reorders starts within the examined prefix.
+	BackfillDepth int
 	// Estimate supplies a runtime estimate for jobs submitted with
 	// Est == 0; nil defaults to a PerfEstimator over the paper's
 	// hardware model.
@@ -174,8 +184,14 @@ type Config struct {
 }
 
 // Scheduler drives the job lifecycle on a virtual clock: Submit stamps
-// arrivals, Run drains the queue event by event (job completions and
-// future arrivals), placing jobs per the configured policy.
+// arrivals, Run (or the incremental Step/RunUntil that Engine wraps)
+// drains the queue event by event — job completions, checkpoint
+// settlements, and future arrivals — placing jobs per the configured
+// policy. Alongside the authoritative state (bitmap, pending slice,
+// running heap) it maintains the index structures of index.go: a
+// completion-event treap for shadow and profile queries and a calendar
+// queue for arrivals, kept in lockstep by the dispatch/complete/drain
+// paths.
 type Scheduler struct {
 	cfg           Config
 	now           time.Duration
@@ -196,6 +212,9 @@ type Scheduler struct {
 	demoting      []*Job               // host images mid-eviction (reservation held to demoteEnd)
 	pinned        []pin                // migration pins: home RAM held until the outbound write settles
 	usage         map[string]*usage    // per-user decayed accounting (fairshare.go)
+	fsEpoch       time.Duration        // reference instant for fair-share sort keys (fairshare.go)
+	ends          endTreap             // running completion events, the incremental capacity profile (index.go)
+	arrivals      calendarQueue        // future arrivals bucketed by instant (index.go)
 	byID          map[int]*Job         // every job ever submitted, by assigned ID (Cancel, JobByID)
 	canceled      int                  // jobs withdrawn by Cancel
 	less          func(a, b *Job) bool // jobLess, bound once (no per-pass closure)
@@ -226,6 +245,8 @@ func New(cfg Config) *Scheduler {
 		cfg.HostResumeCost = DefaultHostResumeCost
 	}
 	s := &Scheduler{cfg: cfg, nextID: 1, usage: make(map[string]*usage), byID: make(map[int]*Job)}
+	s.ends.init()
+	s.arrivals.init()
 	s.link.duplex = cfg.StoreDuplex
 	s.less = s.jobLess
 	s.rec = cfg.Recorder
@@ -242,8 +263,8 @@ func New(cfg Config) *Scheduler {
 // equal-priority ordering deterministic across replays.
 func (s *Scheduler) jobLess(a, b *Job) bool {
 	if s.cfg.Policy == FairShare {
-		if ua, ub := s.usageOf(a.User), s.usageOf(b.User); ua != ub {
-			return ua < ub
+		if ka, kb := s.keyOf(a.User), s.keyOf(b.User); ka != kb {
+			return ka < kb
 		}
 	}
 	if a.Priority != b.Priority {
@@ -322,6 +343,9 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.slices, j.rrStamp = 0, 0
 	j.canceled = false
 	s.pending.push(j)
+	if j.arrive > s.now {
+		s.arrivals.add(j.arrive, j.ID)
+	}
 	if s.rec != nil {
 		s.record(Event{Time: s.now, Kind: EvSubmit, Job: j.ID, From: j.arrive,
 			Detail: fmt.Sprintf("%s (%s, %d nodes, prio %d, user %s)", j.Name, j.Kind, j.Nodes, j.Priority, j.User)})
@@ -386,13 +410,17 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 
 // nextEvent returns the earliest pending event instant: the soonest
 // completion (which wins ties, exactly as the monolithic loop ordered
-// its switch), future arrival, or demotion settlement.
+// its switch), future arrival, or demotion settlement. Future arrivals
+// come from the calendar queue — one bucket peek — rather than a scan
+// of the whole pending slice; the liveness probe discards entries for
+// jobs canceled while waiting, reproducing the scan's semantics
+// (queue_test.go cross-checks the two against each other).
 func (s *Scheduler) nextEvent() (time.Duration, bool) {
 	tComplete := time.Duration(-1)
 	if s.running.Len() > 0 {
 		tComplete = s.running[0].End
 	}
-	tNext, hasNext := s.pending.nextArrival(s.now)
+	tNext, hasNext := s.arrivals.next(s.now, s.queuedLive)
 	if tDemote, ok := s.nextDemotion(); ok && (!hasNext || tDemote < tNext) {
 		tNext, hasNext = tDemote, true
 	}
@@ -405,13 +433,35 @@ func (s *Scheduler) nextEvent() (time.Duration, bool) {
 	return 0, false
 }
 
+// queuedLive reports whether a calendar entry's job is still a pending
+// submission — the validity probe that lazily retires entries for jobs
+// canceled while their arrival was still in the future.
+func (s *Scheduler) queuedLive(id int) bool {
+	j := s.byID[id]
+	return j != nil && j.State == Queued
+}
+
+// runningPush adds j to the running set: the completion-event heap and
+// the end-time treap move together, always keyed by the current j.End.
+func (s *Scheduler) runningPush(j *Job) {
+	heap.Push(&s.running, j)
+	s.ends.add(j.End, j.ID, j.Alloc.Count)
+}
+
+// runningPop removes the earliest completion event from both structures.
+func (s *Scheduler) runningPop() *Job {
+	j := heap.Pop(&s.running).(*Job)
+	s.ends.del(j.End, j.ID)
+	return j
+}
+
 // advance moves the clock to t and pops every completion event due at
 // that instant (arrivals and settlements need no handling beyond the
 // clock move — the next scheduling pass sees them).
 func (s *Scheduler) advance(t time.Duration) {
 	s.now = t
 	for s.running.Len() > 0 && s.running[0].End == s.now {
-		j := heap.Pop(&s.running).(*Job)
+		j := s.runningPop()
 		if j.sliceEnd && !j.preempting {
 			s.sliceBoundary(j)
 			continue
@@ -461,10 +511,17 @@ func (s *Scheduler) passOnce() bool {
 	pass := s.beginPass()
 	var blocked *Job // first eligible job that did not fit
 	var shadow time.Duration
+	scanned := 0 // backfill candidates examined behind the blocked head
 	jobs := s.pending.ordered(s.less)
 	for i, j := range jobs {
-		if j.arrive > s.now {
-			continue // not yet arrived
+		if j == nil || j.arrive > s.now {
+			continue // tombstone, or not yet arrived
+		}
+		if blocked != nil {
+			scanned++
+			if depth := s.cfg.BackfillDepth; depth > 0 && scanned > depth {
+				break // bounded backfill: the tail is not examined
+			}
 		}
 		if blocked == nil && j.demoteEnd > s.now {
 			// The queue head's image is mid-eviction: it cannot start
@@ -754,7 +811,7 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 			s.record(Event{Time: s.now, Kind: EvStoreRead, Job: j.ID, From: j.readStart, To: j.readEnd})
 		}
 	}
-	heap.Push(&s.running, j)
+	s.runningPush(j)
 	return true
 }
 
@@ -786,7 +843,7 @@ func (s *Scheduler) sliceBoundary(j *Job) {
 			if s.rec != nil {
 				s.record(Event{Time: s.now, Kind: EvSliceYield, Job: j.ID, Alloc: j.Alloc})
 			}
-			heap.Push(&s.running, j)
+			s.runningPush(j)
 			s.beginCheckpoint(j)
 			s.fixRunning(j)
 			return
@@ -798,7 +855,7 @@ func (s *Scheduler) sliceBoundary(j *Job) {
 	} else {
 		j.sliceEnd, j.sliceFull = false, 0
 	}
-	heap.Push(&s.running, j)
+	s.runningPush(j)
 }
 
 // sliceYields reports whether gang j must give up its nodes at the
@@ -817,7 +874,7 @@ func (s *Scheduler) sliceBoundary(j *Job) {
 func (s *Scheduler) sliceYields(j *Job) bool {
 	var usedNow, usedFreed []bool // lazy bitmaps: as-is, and with j's nodes freed
 	for _, p := range s.pending.ordered(s.less) {
-		if p.arrive > s.now {
+		if p == nil || p.arrive > s.now {
 			continue
 		}
 		if p.demoteEnd > s.now {
@@ -893,8 +950,8 @@ func (s *Scheduler) yieldAdmits(j, p *Job, usedFreed []bool) bool {
 // now — without mutating j.
 func (s *Scheduler) outranksAtBoundary(p, j *Job) bool {
 	if s.cfg.Policy == FairShare {
-		if up, uj := s.usageOf(p.User), s.usageOf(j.User); up != uj {
-			return up < uj
+		if kp, kj := s.keyOf(p.User), s.keyOf(j.User); kp != kj {
+			return kp < kj
 		}
 	}
 	if p.Priority != j.Priority {
@@ -993,8 +1050,53 @@ func (s *Scheduler) shadowStart(hd *Job) (shadow time.Duration) {
 }
 
 // shadowStartLifted is shadowStart's body, run with the head's own
-// image lifted.
+// image lifted. In the uniform fast path — topology placement, no
+// constrained nodes (no divergent specs, no resident images), no
+// in-flight demotions or migration pins, and a head whose per-node need
+// fits the default spec — any k free nodes admit the head, so the
+// shadow is a pure counting question and the end-time treap answers it
+// in O(log running) (countShadow). Everything else falls back to the
+// full replay. DebugVerifyShadows runs both and panics on disagreement;
+// the property suite keeps it on (index_test.go).
 func (s *Scheduler) shadowStartLifted(hd *Job) time.Duration {
+	c := s.cfg.Cluster
+	if s.cfg.Placement == PlaceTopo && c.nConstrained == 0 &&
+		len(s.demoting) == 0 && len(s.pinned) == 0 && hd.memNeed <= c.baseMem {
+		t := s.countShadow(hd)
+		if DebugVerifyShadows {
+			if r := s.replayShadow(hd); r != t {
+				panic(fmt.Sprintf("batch: shadow mismatch for job %d: count=%v replay=%v", hd.ID, t, r))
+			}
+		}
+		return t
+	}
+	return s.replayShadow(hd)
+}
+
+// countShadow is the incremental EASY shadow for the uniform fast path:
+// the head places as soon as enough nodes are free, so the reservation
+// is the earliest completion instant by which the free count reaches
+// hd.Nodes — a prefix-sum descent of the end-time treap. Exactly
+// replayShadow's answer when its gate holds: the replay's events are
+// then completions only, processed in the same (End, ID) order, and its
+// per-event canPlace degenerates to the same count comparison.
+func (s *Scheduler) countShadow(hd *Job) time.Duration {
+	free := s.cfg.Cluster.FreeNodes()
+	if free >= hd.Nodes {
+		return s.now
+	}
+	if t, ok := s.ends.coverTime(hd.Nodes - free); ok {
+		return t
+	}
+	// Unreachable while every used node belongs to a tracked running
+	// gang (free + tracked completions cover the machine, and admission
+	// bounds hd.Nodes by the machine); mirror replayShadow's fallback.
+	return s.now
+}
+
+// replayShadow is the full shadow replay: snapshot the bitmap, fire
+// future events in time order, probe placement after each.
+func (s *Scheduler) replayShadow(hd *Job) time.Duration {
 	k, memNeed := hd.Nodes, hd.memNeed
 	c := s.cfg.Cluster
 	used := c.usedCopy()

@@ -104,7 +104,7 @@ func (s *Scheduler) evictFor(j *Job) {
 	}
 	var images []*Job
 	for _, p := range s.pending.jobs {
-		if p.hostImage && p.demoteEnd == 0 && p != j {
+		if p != nil && p.hostImage && p.demoteEnd == 0 && p != j {
 			images = append(images, p)
 		}
 	}
