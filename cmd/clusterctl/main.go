@@ -16,6 +16,8 @@
 //	clusterctl -preempt -suspend-to-host       # in-RAM suspension tier
 //	clusterctl -preempt -store-duplex half     # drains and restores share the wire
 //	clusterctl -preempt -store-bandwidth 30    # slower checkpoint store (MB/s)
+//	clusterctl -mtbf 2h                        # seeded failure storm (node crashes, trunk outages)
+//	clusterctl -faults storm.txt -ckpt-interval 5m  # replay a fault trace, bank proactively
 //	clusterctl -placement both                 # compare placement engines too
 //	clusterctl -execute -jobs 8                # actually run the workloads
 //	clusterctl -bench-json BENCH_batch.json    # emit the CI perf snapshot
@@ -92,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	storeDuplex := fs.String("store-duplex", "full", "checkpoint-store link mode: full (independent read/write timelines) or half (one shared)")
 	storeBW := fs.Float64("store-bandwidth", 0, "checkpoint-store link bandwidth in MB/s (0 uses the paper's Gigabit model)")
 	tracePath := fs.String("trace", "", "replay an SWF-style workload trace instead of the synthetic mix")
+	faultsPath := fs.String("faults", "", "inject failures from this fault trace file (crash/flap/trunk lines, seconds)")
+	mtbf := fs.Duration("mtbf", 0, "generate a seeded failure storm with this per-machine MTBF (exclusive with -faults)")
+	ckptInterval := fs.Duration("ckpt-interval", 0, "proactive checkpoint interval under failures (requires -faults or -mtbf)")
 	execute := fs.Bool("execute", false, "actually run each job's workload on the functional simulators (use few jobs)")
 	benchJSON := fs.String("bench-json", "", "write a scheduler throughput/makespan snapshot to this file and exit")
 	benchScale := fs.Bool("bench-scale", false, "with -bench-json: also drain the pinned 1M-job queue on a 10k-node machine and record its jobs/s (takes minutes)")
@@ -119,6 +124,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *explainID < 0 {
 		return fail("-explain %d: job IDs are positive", *explainID)
+	}
+	faults, err := resolveFaultFlags(*faultsPath, *mtbf, *ckptInterval, *nodes, *seed)
+	if err != nil {
+		return fail("%v", err)
 	}
 
 	if *benchJSON != "" {
@@ -195,17 +204,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// wired into the policy grid but silently left off the baseline.
 	makeConfig := func(pol batch.Policy, plc batch.Placement, quantum time.Duration) batch.Config {
 		return batch.Config{
-			Cluster:        batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
-			Policy:         pol,
-			Placement:      plc,
-			Actual:         actual,
-			TrunkSlowdown:  *trunk,
-			Preempt:        *preempt,
-			Quantum:        quantum,
-			SuspendToHost:  *suspendToHost,
-			StoreDuplex:    duplex,
-			CheckpointCost: ckptCost,
-			RestoreCost:    restCost,
+			Cluster:            batch.NewCluster(*nodes, netsim.GigabitSwitch(*nodes)),
+			Policy:             pol,
+			Placement:          plc,
+			Actual:             actual,
+			TrunkSlowdown:      *trunk,
+			Preempt:            *preempt,
+			Quantum:            quantum,
+			SuspendToHost:      *suspendToHost,
+			StoreDuplex:        duplex,
+			CheckpointCost:     ckptCost,
+			RestoreCost:        restCost,
+			Faults:             faults,
+			CheckpointInterval: *ckptInterval,
 		}
 	}
 	runMix := func(cfg batch.Config) (batch.Report, error) {
@@ -380,6 +391,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 // drain (indexed placement, incremental shadows, calendar event queue)
 // and its jobs/s — zero in snapshots written without -bench-scale, so
 // the quick bench job and the scale job share one schema.
+// Schema 6 adds the failure-storm row: goodput, lost work, and
+// availability from a pinned seeded storm (GenFaultPlan over the
+// contended stream mix with proactive checkpointing on), so a recovery
+// regression — more work lost, less goodput through the same storm —
+// shows up in CI next to the fault-free baselines.
 type benchSnapshot struct {
 	Schema        int                `json:"schema"`
 	Nodes         int                `json:"nodes"`
@@ -401,6 +417,12 @@ type benchSnapshot struct {
 	ServeP50MS    float64            `json:"serve_submit_p50_ms"`
 	ServeP99MS    float64            `json:"serve_submit_p99_ms"`
 	ServeJobsSec  float64            `json:"serve_jobs_per_sec"`
+	// The schema-6 failure-storm row: a pinned seeded storm replay with
+	// proactive checkpointing (virtual-time quality metrics, not wall
+	// clock — deterministic for a given seed).
+	GoodputJobsSec float64 `json:"goodput_jobs_per_sec"`
+	LostWorkMS     float64 `json:"lost_work_ms"`
+	Availability   float64 `json:"availability"`
 	// Scale* record the -bench-scale drain (schema 5); all zero when the
 	// snapshot was written without it.
 	ScaleNodes         int     `json:"scale_nodes"`
@@ -456,7 +478,7 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64, scale 
 		return err
 	}
 	snap := benchSnapshot{
-		Schema:        5,
+		Schema:        6,
 		Nodes:         nodes,
 		Seed:          seed,
 		BenchJobs:     benchJobs,
@@ -505,6 +527,29 @@ func writeBenchJSON(stdout io.Writer, path string, nodes int, seed int64, scale 
 	snap.ServeP50MS = ms(serve.P50)
 	snap.ServeP99MS = ms(serve.P99)
 	snap.ServeJobsSec = serve.JobsPerSec
+	// The schema-6 storm row: the contended stream mix through a pinned
+	// seeded storm with proactive checkpointing. These are virtual-time
+	// schedule-quality metrics, fully deterministic for the seed — any
+	// drift is a recovery behavior change, not measurement noise. The
+	// interval sits well under the quantum so proactive banks actually
+	// arm before the slice boundary.
+	storm := batch.New(batch.Config{
+		Cluster:            batch.NewCluster(nodes, netsim.GigabitSwitch(nodes)),
+		Policy:             batch.Backfill,
+		Preempt:            true,
+		Quantum:            300 * time.Second,
+		Faults:             batch.GenFaultPlan(seed, nodes, 24*time.Hour, 10*time.Minute),
+		CheckpointInterval: time.Minute,
+	})
+	for _, j := range batch.SyntheticStream(seed, snap.MixJobs, nodes, 5*time.Second) {
+		if err := storm.Submit(j); err != nil {
+			return err
+		}
+	}
+	stormRep := storm.Run()
+	snap.GoodputJobsSec = stormRep.Goodput
+	snap.LostWorkMS = ms(stormRep.LostWork)
+	snap.Availability = stormRep.Availability
 	if scale {
 		wall, err := runScaleBench(&snap)
 		if err != nil {
@@ -591,6 +636,39 @@ func ckptWaitCol(r batch.Report) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%v+%v", batch.RoundDuration(r.DrainWait), batch.RoundDuration(r.RestoreWait))
+}
+
+// resolveFaultFlags cross-checks the failure-injection knobs and builds
+// the plan: -faults replays a trace file, -mtbf generates a seeded
+// storm over a 24h horizon (the two are exclusive — a study is either
+// pinned to a recorded storm or to the generator), and -ckpt-interval
+// is meaningless without failures to survive (the scheduler would
+// ignore it anyway: a fault-free run is bit-identical with the knob on
+// or off).
+func resolveFaultFlags(faultsPath string, mtbf, ckptInterval time.Duration, nodes int, seed int64) (*batch.FaultPlan, error) {
+	if faultsPath != "" && mtbf != 0 {
+		return nil, fmt.Errorf("-faults and -mtbf are mutually exclusive: replay a recorded storm or generate one, not both")
+	}
+	if mtbf < 0 {
+		return nil, fmt.Errorf("-mtbf %v: mean time between failures must be positive", mtbf)
+	}
+	if ckptInterval < 0 {
+		return nil, fmt.Errorf("-ckpt-interval %v: the interval must be positive", ckptInterval)
+	}
+	if ckptInterval > 0 && faultsPath == "" && mtbf == 0 {
+		return nil, fmt.Errorf("-ckpt-interval needs failures to survive: add -faults or -mtbf")
+	}
+	switch {
+	case faultsPath != "":
+		plan, err := batch.LoadFaultPlan(faultsPath)
+		if err != nil {
+			return nil, err
+		}
+		return plan, nil
+	case mtbf > 0:
+		return batch.GenFaultPlan(seed, nodes, 24*time.Hour, mtbf), nil
+	}
+	return nil, nil
 }
 
 // validateCheckpointFlags cross-checks the checkpoint-model knobs:

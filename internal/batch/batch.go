@@ -178,6 +178,7 @@ type Job struct {
 	doneWork    time.Duration // scheduler-known completed work (estimate basis)
 	restoreCost time.Duration // reload charge pending for the next dispatch
 	overhead    time.Duration // checkpoint+restore time charged so far
+	lostWork    time.Duration // wall time faults destroyed since the last banked boundary
 	snapshot    *Snapshot     // saved workload image between dispatches
 	waveFor     *Job          // victim side: the blocked job this drain is for
 	segStart    time.Duration // current segment's dispatch instant
@@ -204,17 +205,22 @@ type Job struct {
 	// cache-bound on this struct's size.
 	preempts    int32 // times this job was preempted on priority
 	slices      int32 // times this job was suspended at a quantum boundary
+	faults      int32 // times a fault killed this job's gang mid-segment
+	banks       int32 // proactive checkpoint banks settled (Config.CheckpointInterval)
 	waveLeft    int32 // victims still draining on this job's behalf
 	backfilled  bool
 	preempting  bool // currently draining its checkpoint
 	promised    bool
-	wavePending bool // a preemption wave is draining on this job's behalf
-	sliceEnd    bool // the pending End event is a quantum boundary
-	slicing     bool // current checkpoint drain is a slice suspension
-	hostDrain   bool // current drain stays in host RAM (suspend-to-host)
-	hostImage   bool // suspended image resident in host RAM, memory pinned
-	canceled    bool // Cancel hit the job mid-drain: discard at requeue
-	forceStore  bool // pending suspension must take the store tier: its
+	wavePending bool          // a preemption wave is draining on this job's behalf
+	sliceEnd    bool          // the pending End event is a quantum boundary
+	slicing     bool          // current checkpoint drain is a slice suspension
+	ckptDue     bool          // the pending End event is a proactive-checkpoint boundary
+	banking     bool          // currently draining a proactive bank (gang stays seated)
+	ckptSlice   time.Duration // quantum boundary displaced by an armed bank, restored at settle
+	hostDrain   bool          // current drain stays in host RAM (suspend-to-host)
+	hostImage   bool          // suspended image resident in host RAM, memory pinned
+	canceled    bool          // Cancel hit the job mid-drain: discard at requeue
+	forceStore  bool          // pending suspension must take the store tier: its
 	// in-RAM image would pin the very memory the beneficiary needs
 }
 
@@ -261,6 +267,19 @@ func (j *Job) Preemptions() int { return int(j.preempts) }
 // TimeSlices returns how many times the job was suspended at a quantum
 // boundary to share its nodes round-robin (Config.Quantum).
 func (j *Job) TimeSlices() int { return int(j.slices) }
+
+// Faults returns how many times a fault (node crash or trunk outage)
+// killed this job's gang mid-segment (Config.Faults).
+func (j *Job) Faults() int { return int(j.faults) }
+
+// Banks returns how many proactive checkpoints the job banked in place
+// at Config.CheckpointInterval boundaries.
+func (j *Job) Banks() int { return int(j.banks) }
+
+// LostWork returns the wall time this job's gangs spent on work that
+// faults destroyed — execution since the last banked boundary that had
+// to be redone from the checkpoint.
+func (j *Job) LostWork() time.Duration { return j.lostWork }
 
 // CheckpointOverhead returns the total checkpoint and restore time the
 // scheduler charged to this job's allocations.

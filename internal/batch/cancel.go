@@ -49,7 +49,10 @@ func (s *Scheduler) Cancel(id int) error {
 	case Done, Failed, Canceled:
 		return fmt.Errorf("batch: %w: job %d is %s", ErrJobTerminal, id, j.State)
 	}
-	if j.preempting {
+	if j.preempting || j.banking {
+		// A proactive bank mid-drain settles like a preemption drain: the
+		// nodes and link slot are committed, so the event lands first and
+		// the job is discarded at settlement instead of continuing.
 		j.canceled = true
 		return nil
 	}

@@ -107,6 +107,16 @@ type Cluster struct {
 	// fragSamples/fragSum sample the free-fragment count at each
 	// allocation instant, the report's fragmentation statistic.
 	fragSamples, fragSum int
+	// down flags nodes taken out by an injected fault (fault.go). A
+	// down node is also marked used — so placement, shadows, and the
+	// free-range index exclude it exactly like an allocation — and
+	// flagged here so a crashed node is distinguishable from a busy one.
+	down      []bool
+	downCount int
+	// trunkDown marks an injected whole-trunk outage: while it holds, no
+	// placement may cross the trunk (eligible runs clip at the boundary
+	// and crossing assemblies are refused, see placement.go).
+	trunkDown bool
 
 	// idx is the ordered free-range set, split on commit and merged on
 	// Release — live candidate enumeration and the O(1) fragment count.
@@ -141,6 +151,7 @@ func NewCluster(n int, net netsim.Config) *Cluster {
 		used:     make([]bool, n),
 		busy:     make([]time.Duration, n),
 		free:     n,
+		down:     make([]bool, n),
 		reserved: make([]int64, n),
 		baseMem:  2560 << 20,
 		memDirty: true,
@@ -356,6 +367,60 @@ func (c *Cluster) Release(a Allocation, ran time.Duration) {
 	}
 	if debugCheckIndex {
 		c.idx.verify(c.used)
+	}
+}
+
+// nodeDown takes node i out of service for an injected fault. The node
+// must be unallocated — the fault layer kills resident gangs first —
+// and is then marked used, so every consumer (placement candidates,
+// canPlace probes, shadows, the free-range index, debugCheckIndex's
+// verify) excludes it exactly as if a one-node gang were committed:
+// down/up split and merge free runs like alloc/release. Busy accounting
+// is not credited for down time — a dead node is not doing work.
+func (c *Cluster) nodeDown(i int) {
+	if c.used[i] {
+		panic(fmt.Sprintf("batch: node %d still allocated at nodeDown", i))
+	}
+	if c.down[i] {
+		panic(fmt.Sprintf("batch: node %d already down", i))
+	}
+	c.used[i] = true
+	c.down[i] = true
+	c.downCount++
+	c.idx.alloc(i, 1)
+	c.free--
+	if debugCheckIndex {
+		c.idx.verify(c.used)
+	}
+}
+
+// nodeUp returns a repaired node to service, merging it back into the
+// free-range index exactly like a release, with no busy credit.
+func (c *Cluster) nodeUp(i int) {
+	if !c.down[i] {
+		panic(fmt.Sprintf("batch: node %d not down at nodeUp", i))
+	}
+	c.down[i] = false
+	c.downCount--
+	c.used[i] = false
+	c.idx.release(i, 1)
+	c.free++
+	if debugCheckIndex {
+		c.idx.verify(c.used)
+	}
+}
+
+// DownNodes returns how many nodes are currently failed.
+func (c *Cluster) DownNodes() int { return c.downCount }
+
+// creditBusy credits each node of a with ran of busy time without
+// freeing anything — a proactive checkpoint closes an accounting
+// segment while the gang stays seated on its nodes.
+func (c *Cluster) creditBusy(a Allocation, ran time.Duration) {
+	for _, r := range a.Ranges {
+		for i := r.First; i < r.First+r.Count; i++ {
+			c.busy[i] += ran
+		}
 	}
 }
 

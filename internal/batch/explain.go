@@ -57,6 +57,10 @@ const (
 	// ReasonReservation: the conservative profile holds this job to a
 	// reserved future slot (From on the event is the reserved start).
 	ReasonReservation
+	// ReasonFault: the gang does not fit the machine that remains while
+	// injected faults hold capacity down — downed nodes, or a severed
+	// trunk refusing every crossing placement.
+	ReasonFault
 	numBlockReasons
 )
 
@@ -84,6 +88,8 @@ func (r BlockReason) String() string {
 		return "evicting"
 	case ReasonReservation:
 		return "reserved"
+	case ReasonFault:
+		return "fault"
 	}
 	return fmt.Sprintf("reason(%d)", int(r))
 }
@@ -188,6 +194,23 @@ func (s *Scheduler) classifyStart(j *Job) BlockReason {
 			reason = ReasonShadow
 		case c.placeableIgnoringMemory(used, j.Nodes, s.cfg.Placement):
 			reason = ReasonMemoryPinned
+		case c.downCount > 0 || c.trunkDown:
+			// Would the gang seat if the faults lifted? Probe with downed
+			// nodes marked free and the trunk restored: if yes, the
+			// injected faults are the binding constraint.
+			if c.trunkDown {
+				c.trunkDown = false
+				defer func() { c.trunkDown = true }()
+			}
+			for i := range used {
+				if c.down[i] {
+					used[i] = false
+				}
+			}
+			if c.canPlace(used, j.Nodes, j.memNeed, s.cfg.Placement) ||
+				c.placeableIgnoringMemory(used, j.Nodes, s.cfg.Placement) {
+				reason = ReasonFault
+			}
 		}
 	})
 	return reason

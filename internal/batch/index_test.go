@@ -108,8 +108,9 @@ func TestFreeIndexMatchesScan(t *testing.T) {
 
 	var live []Allocation
 	var pinned []Allocation // reservations to undo
+	var down []int          // injected node faults to repair
 	for op := 0; op < 2000; op++ {
-		switch r := rng.Intn(10); {
+		switch r := rng.Intn(12); {
 		case r < 4: // allocate
 			k := 1 + rng.Intn(24)
 			need := needs[rng.Intn(len(needs))]
@@ -142,7 +143,7 @@ func TestFreeIndexMatchesScan(t *testing.T) {
 			a := Allocation{Ranges: []NodeRange{{First: f, Count: 1 + rng.Intn(4)}}}
 			c.reserve(a, base/4)
 			pinned = append(pinned, a)
-		default: // unpin
+		case r < 10: // unpin
 			if len(pinned) > 0 {
 				i := rng.Intn(len(pinned))
 				c.unreserve(pinned[i], base/4)
@@ -150,6 +151,25 @@ func TestFreeIndexMatchesScan(t *testing.T) {
 				c.idx.verify(c.used)
 				pinned[i] = pinned[len(pinned)-1]
 				pinned = pinned[:len(pinned)-1]
+			}
+		case r < 11: // node down: a fault takes a free node out of service
+			var free []int
+			for i := range c.used {
+				if !c.used[i] {
+					free = append(free, i)
+				}
+			}
+			if len(free) > 0 {
+				n := free[rng.Intn(len(free))]
+				c.nodeDown(n)
+				down = append(down, n)
+			}
+		default: // node up: repair returns a downed node to the free pool
+			if len(down) > 0 {
+				i := rng.Intn(len(down))
+				c.nodeUp(down[i])
+				down[i] = down[len(down)-1]
+				down = down[:len(down)-1]
 			}
 		}
 		if op%20 == 0 || op > 1900 {

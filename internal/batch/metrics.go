@@ -363,7 +363,14 @@ type schedMetrics struct {
 	slices     *Counter // batch_slice_suspensions_total
 	demotions  *Counter // batch_demotions_total
 
+	faultKills   *Counter // batch_fault_kills_total
+	nodeFaults   *Counter // batch_node_faults_total
+	trunkOutages *Counter // batch_trunk_outages_total
+	lostWork     *Counter // batch_lost_work_seconds_total
+	banks        *Counter // batch_proactive_checkpoints_total
+
 	queueDepth   *Gauge // batch_queue_depth
+	nodesDown    *Gauge // batch_nodes_down
 	writeBacklog *Gauge // batch_store_link_write_backlog_seconds
 	readBacklog  *Gauge // batch_store_link_read_backlog_seconds
 
@@ -390,7 +397,13 @@ func newSchedMetrics(reg *Registry, pol Policy, plc Placement) *schedMetrics {
 		preempts:     reg.Counter("batch_preemptions_total", "Priority checkpoint drains begun.", base),
 		slices:       reg.Counter("batch_slice_suspensions_total", "Quantum-boundary suspensions begun.", base),
 		demotions:    reg.Counter("batch_demotions_total", "Host images evicted to the checkpoint store.", base),
+		faultKills:   reg.Counter("batch_fault_kills_total", "Running gangs killed by injected faults.", base),
+		nodeFaults:   reg.Counter("batch_node_faults_total", "Injected node-down events applied.", base),
+		trunkOutages: reg.Counter("batch_trunk_outages_total", "Injected whole-trunk outages applied.", base),
+		lostWork:     reg.Counter("batch_lost_work_seconds_total", "Work destroyed by faults since the last banked checkpoint (virtual seconds).", base),
+		banks:        reg.Counter("batch_proactive_checkpoints_total", "Proactive checkpoint banks settled (Config.CheckpointInterval).", base),
 		queueDepth:   reg.Gauge("batch_queue_depth", "Pending jobs (including future arrivals).", base),
+		nodesDown:    reg.Gauge("batch_nodes_down", "Nodes currently failed.", base),
 		writeBacklog: reg.Gauge("batch_store_link_write_backlog_seconds", "How far the store link's write timeline extends past now.", base),
 		readBacklog:  reg.Gauge("batch_store_link_read_backlog_seconds", "How far the store link's read timeline extends past now.", base),
 		wait:         reg.Histogram("batch_job_wait_seconds", "Queue wait (virtual seconds) of completed jobs.", nil, base),

@@ -80,11 +80,24 @@ const (
 	EvStoreRead
 	// EvSegmentEnd is a gang release: From/To span the segment exactly
 	// as History records it, Alloc is the released gang, Detail "run"
-	// for a completion and "drain" for a checkpoint end.
+	// for a completion, "drain" for a checkpoint end, "cancel" for a
+	// mid-run cancellation, "fault" for a fault kill, and "bank" for a
+	// settled proactive checkpoint (the gang keeps its seat).
 	EvSegmentEnd
 	// EvComplete is the terminal transition; Detail is "done" or
 	// "failed".
 	EvComplete
+	// EvNodeDown is an injected node crash (fault.go): Alloc names the
+	// node, From/To span the scheduled down interval.
+	EvNodeDown
+	// EvNodeUp is the matching repair: the node rejoins the free pool.
+	EvNodeUp
+	// EvTrunkDown is an injected whole-trunk outage: From/To span it;
+	// crossing gangs are killed and no crossing placement is admitted
+	// until EvTrunkUp.
+	EvTrunkDown
+	// EvTrunkUp ends the active trunk outage.
+	EvTrunkUp
 )
 
 func (k EventKind) String() string {
@@ -115,6 +128,14 @@ func (k EventKind) String() string {
 		return "segment-end"
 	case EvComplete:
 		return "complete"
+	case EvNodeDown:
+		return "node-down"
+	case EvNodeUp:
+		return "node-up"
+	case EvTrunkDown:
+		return "trunk-down"
+	case EvTrunkUp:
+		return "trunk-up"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -274,6 +295,7 @@ func WriteChromeTrace(w io.Writer, events []Event, nodes int) error {
 		d int
 	}
 	var deltas []depthDelta
+	hasTrunk := false // a trunk-outage track is emitted only when one occurred
 
 	for _, ev := range events {
 		j := st(ev.Job)
@@ -316,6 +338,18 @@ func WriteChromeTrace(w io.Writer, events []Event, nodes int) error {
 			for _, n := range ev.Alloc.Nodes() {
 				emitX(tracePidNodes, n, fmt.Sprintf("j%d", ev.Job), ev.From, ev.To, nil)
 			}
+			if ev.Detail == "bank" {
+				// A settled proactive checkpoint: the gang kept its seat,
+				// so the run window re-opens in place with no dispatch.
+				j.workAt, j.dispatched = ev.To, true
+			}
+		case EvNodeDown:
+			for _, n := range ev.Alloc.Nodes() {
+				emitX(tracePidNodes, n, "down", ev.From, ev.To, nil)
+			}
+		case EvTrunkDown:
+			emitX(tracePidNodes, nodes, "trunk outage", ev.From, ev.To, nil)
+			hasTrunk = true
 		case EvRequeue:
 			j.queuedAt, j.queued = ev.Time, true
 			deltas = append(deltas, depthDelta{ev.Time, +1})
@@ -369,6 +403,9 @@ func WriteChromeTrace(w io.Writer, events []Event, nodes int) error {
 	metaName(tracePidNodes, 0, "process_name", "nodes")
 	for n := 0; n < nodes; n++ {
 		metaName(tracePidNodes, n, "thread_name", fmt.Sprintf("node %d", n))
+	}
+	if hasTrunk {
+		metaName(tracePidNodes, nodes, "thread_name", "trunk")
 	}
 	metaName(tracePidLink, 0, "process_name", "store link")
 	metaName(tracePidLink, traceTidWrite, "thread_name", "write (drains, demotions, migrations)")

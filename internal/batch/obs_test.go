@@ -90,6 +90,87 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 }
 
+// TestChromeTraceFaultGolden pins the exporter's fault tracks: the
+// sample replay under a designed storm (two node crashes, one trunk
+// outage, proactive checkpointing on) must export byte-identically,
+// with "down" slices on the node track and a dedicated "trunk" thread
+// carrying the outage window. Set REGEN_TRACE=1 to rewrite the golden
+// after an intentional exporter or scheduler change.
+func TestChromeTraceFaultGolden(t *testing.T) {
+	const golden = "testdata/fault_trace.json"
+	recs, err := LoadTrace("../../examples/traces/sample.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, actual := TraceJobs(recs, 32)
+	rec := &MemRecorder{}
+	s := New(Config{
+		Cluster:       newTestCluster(32),
+		Policy:        Backfill,
+		Actual:        actual,
+		TrunkSlowdown: 1.1,
+		Preempt:       true,
+		Recorder:      rec,
+		Faults: &FaultPlan{
+			Crashes: []NodeFault{
+				{Node: 3, At: 10 * time.Minute, Repair: 2 * time.Minute},
+				{Node: 20, At: 25 * time.Minute, Repair: 90 * time.Second},
+			},
+			Trunks: []TrunkFault{{At: 35 * time.Minute, Duration: time.Minute}},
+		},
+		CheckpointInterval: 5 * time.Minute,
+	})
+	submitAll(t, s, jobs)
+	rep := s.Run()
+	if rep.NodeFaults != 2 || rep.TrunkOutages != 1 {
+		t.Fatalf("storm applied %d node faults and %d trunk outages, want 2 and 1", rep.NodeFaults, rep.TrunkOutages)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("REGEN_TRACE") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with REGEN_TRACE=1 to generate)", err)
+	}
+	if !bytes.Equal(disk, buf.Bytes()) {
+		t.Fatalf("%s does not match the exporter's output (%d vs %d bytes); regenerate with REGEN_TRACE=1 after an intentional change",
+			golden, len(disk), buf.Len())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(disk, &doc); err != nil {
+		t.Fatalf("golden fault trace is not valid JSON: %v", err)
+	}
+	downs, outages, trunkThread := 0, 0, false
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Pid == tracePidNodes && e.Ph == "X" && e.Name == "down":
+			downs++
+		case e.Pid == tracePidNodes && e.Ph == "X" && e.Name == "trunk outage":
+			outages++
+		case e.Ph == "M" && e.Name == "thread_name" && e.Args["name"] == "trunk":
+			trunkThread = true
+		}
+	}
+	if downs != 2 || outages != 1 || !trunkThread {
+		t.Fatalf("fault tracks incomplete: %d down slices, %d outage slices, trunk thread %v (want 2, 1, true)",
+			downs, outages, trunkThread)
+	}
+}
+
 // TestEventStreamDeterminism replays the same mix twice under every
 // policy, with and without preemption and time-slicing, and asserts the
 // two recorded event streams are identical — the property the whole

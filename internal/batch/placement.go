@@ -122,7 +122,11 @@ func (c *Cluster) candidates(k int, need int64, pol Placement) []candidate {
 	if len(cands) == 0 || allCross {
 		px := sched.Arrange3D(k).PX
 		for _, rs := range c.assemblies(runs, k) {
-			cands = append(cands, c.scored(runs, rs, px))
+			cand := c.scored(runs, rs, px)
+			if c.trunkDown && cand.crosses {
+				continue // severed trunk: crossing assemblies are unplaceable
+			}
+			cands = append(cands, cand)
 		}
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
@@ -137,7 +141,11 @@ func (c *Cluster) candidates(k int, need int64, pol Placement) []candidate {
 // shadow simulation (a hypothetical one).
 func (c *Cluster) firstFit(used []bool, k int, need int64) int {
 	run := 0
+	bound := c.trunkBound()
 	for i := range c.nodes {
+		if i == bound {
+			run = 0 // severed trunk: a window may not span the boundary
+		}
 		if used[i] || c.avail(i) < need {
 			run = 0
 			continue
@@ -148,6 +156,17 @@ func (c *Cluster) firstFit(used []bool, k int, need int64) int {
 		}
 	}
 	return -1
+}
+
+// trunkBound returns the node index placements may not span while a
+// trunk outage holds, or len(nodes) (spanned by nothing) otherwise.
+func (c *Cluster) trunkBound() int {
+	if c.trunkDown {
+		if nb := c.net.NonBlockingPorts; nb > 0 && nb < len(c.nodes) {
+			return nb
+		}
+	}
+	return len(c.nodes)
 }
 
 // firstFitRuns returns the start of the first k-wide window over the
@@ -175,6 +194,19 @@ func (c *Cluster) eligibleRuns(need int64) []NodeRange {
 		cnt := int(c.idx.runLen[f])
 		c.appendEligible(f, cnt, need)
 		f = c.idx.starts.nextSet(f + cnt)
+	}
+	// A severed trunk splits the (at most one) run straddling the
+	// boundary, so no contiguous window can cross while the outage holds.
+	if bound := c.trunkBound(); bound < len(c.nodes) {
+		for i, r := range c.runBuf {
+			if r.First < bound && r.First+r.Count > bound {
+				c.runBuf = append(c.runBuf, NodeRange{})
+				copy(c.runBuf[i+2:], c.runBuf[i+1:])
+				c.runBuf[i] = NodeRange{First: r.First, Count: bound - r.First}
+				c.runBuf[i+1] = NodeRange{First: bound, Count: r.First + r.Count - bound}
+				break
+			}
+		}
 	}
 	return c.runBuf
 }
@@ -450,7 +482,11 @@ func (c *Cluster) canPlace(used []bool, k int, need int64, pol Placement) bool {
 		return c.firstFit(used, k, need) >= 0
 	}
 	free := 0
+	bound := c.trunkBound()
 	for i := range c.nodes {
+		if i == bound {
+			free = 0 // severed trunk: the gang must seat on one side
+		}
 		if !used[i] && c.avail(i) >= need {
 			free++
 			if free == k {

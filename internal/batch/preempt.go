@@ -170,7 +170,7 @@ func (s *Scheduler) preemptFor(j *Job) preemptOutcome {
 	var cands []*Job
 	thrash, futile := 0, 0
 	for _, r := range s.running {
-		if r.preempting || r.Priority >= j.Priority {
+		if r.preempting || r.banking || r.Priority >= j.Priority {
 			continue
 		}
 		if !s.less(j, r) {
@@ -317,6 +317,7 @@ func (s *Scheduler) beginCheckpoint(v *Job) {
 	// before the refund logic clears them.
 	hostTier := s.hostEligible(v) && !v.forceStore
 	v.forceStore = false
+	v.ckptDue = false // the drain supersedes any armed proactive bank
 	s.bankProgress(v)
 	var start, cost time.Duration
 	if hostTier {
@@ -406,6 +407,40 @@ func (s *Scheduler) bankProgress(v *Job) {
 	}
 	v.workLeft -= done
 	v.doneWork += done
+}
+
+// loseProgress settles a running segment a fault cut off. The
+// interrupted-restore refund mirrors bankProgress exactly — a gang
+// killed mid-restore never ran the reload, so the unelapsed prefix
+// comes off the overhead charge and the read slot frees — but the work
+// elapsed since the last banked boundary is *lost*, not banked: the job
+// redoes it from its checkpoint, and the wall time its gang already
+// held lands in Report.LostWork, keeping busy time exactly work +
+// overhead + lost work.
+func (s *Scheduler) loseProgress(v *Job) {
+	elapsed := s.now - v.segStart - v.segRestore
+	if elapsed < 0 {
+		v.overhead += elapsed
+		if v.readEnd > 0 {
+			if refund := v.readStart - s.now; refund > 0 {
+				if refund > v.readWait {
+					refund = v.readWait
+				}
+				s.restoreWait -= refund
+			}
+			s.link.releaseRead(v.readStart, v.readEnd, s.now)
+			if s.rec != nil {
+				s.record(Event{Time: s.now, Kind: EvStoreRead, Job: v.ID, From: v.readStart, To: s.now, Detail: "cancel"})
+			}
+		}
+		elapsed = 0
+	}
+	v.readStart, v.readEnd, v.readWait = 0, 0, 0
+	v.lostWork += elapsed
+	s.lostWork += elapsed
+	if s.met != nil {
+		s.met.lostWork.Add(elapsed.Seconds())
+	}
 }
 
 // drainDetail names a drain's tier and cause with constant strings

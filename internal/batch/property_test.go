@@ -83,15 +83,16 @@ func TestPropertyResidencyCapacityProgress(t *testing.T) {
 								seed, j, i, seg.Start, i-1, j.History[i-1].End)
 						}
 					}
-					if want := j.TimeSlices() + j.Preemptions() + 1; len(j.History) != want {
-						t.Fatalf("seed %d: %s has %d segments, want %d (%d slices + %d preemptions + final)",
-							seed, j, len(j.History), want, j.TimeSlices(), j.Preemptions())
+					if want := j.TimeSlices() + j.Preemptions() + j.Faults() + j.Banks() + 1; len(j.History) != want {
+						t.Fatalf("seed %d: %s has %d segments, want %d (%d slices + %d preemptions + %d faults + %d banks + final)",
+							seed, j, len(j.History), want, j.TimeSlices(), j.Preemptions(), j.Faults(), j.Banks())
 					}
 					// Banked progress: busy time == true runtime +
-					// charged overhead. The only slack allowed is the
-					// scheduler's millisecond floor on degenerate
-					// sub-millisecond segments.
-					diff := j.BusyTime() - j.Estimate() - j.CheckpointOverhead()
+					// charged overhead (+ work faults destroyed, zero
+					// here). The only slack allowed is the scheduler's
+					// millisecond floor on degenerate sub-millisecond
+					// segments.
+					diff := j.BusyTime() - j.Estimate() - j.CheckpointOverhead() - j.LostWork()
 					if diff < 0 {
 						diff = -diff
 					}

@@ -73,6 +73,31 @@ type Report struct {
 	// no nodes are held while an image drains out of RAM).
 	Demotions    int
 	DemotionTime time.Duration
+	// LostWork is the total wall time injected faults destroyed: work a
+	// killed gang had run since its last banked History boundary, which
+	// the job redoes after restarting from that checkpoint. Exactly the
+	// gap in the busy ≡ work + overhead balance (fault_test.go pins
+	// busy ≡ work + overhead + lost work).
+	LostWork time.Duration
+	// FaultKills counts gang kills caused by injected faults (a job may
+	// be killed several times); Faulted counts jobs killed at least
+	// once.
+	FaultKills, Faulted int
+	// NodeFaults and TrunkOutages count the injected down events
+	// applied; NodeDownTime is total node-unavailable time (still-down
+	// nodes clamped to the makespan).
+	NodeFaults, TrunkOutages int
+	NodeDownTime             time.Duration
+	// Availability is 1 − NodeDownTime/(Makespan × nodes): the machine-
+	// time fraction the storm left standing. 1 when no faults were
+	// injected.
+	Availability float64
+	// Banks counts proactive checkpoints settled under
+	// Config.CheckpointInterval.
+	Banks int
+	// Goodput is completed (Done) jobs per virtual second of makespan —
+	// the figure proactive checkpointing defends under a failure storm.
+	Goodput float64
 	// UserNodeTime aggregates granted node-time per Job.User — the raw
 	// (undecayed) fair-share accounting view.
 	UserNodeTime map[string]time.Duration
@@ -120,6 +145,12 @@ func (s *Scheduler) report() Report {
 		HostSuspends:  s.hostSuspends,
 		Demotions:     s.demotions,
 		DemotionTime:  s.demoteTime,
+		LostWork:      s.lostWork,
+		FaultKills:    s.faultKills,
+		NodeFaults:    s.nodeFaults,
+		TrunkOutages:  s.trunkFaults,
+		Banks:         s.banks,
+		Availability:  1,
 		UserNodeTime:  make(map[string]time.Duration),
 		AvgFreeFrags:  s.cfg.Cluster.AvgFreeFrags(),
 	}
@@ -154,6 +185,9 @@ func (s *Scheduler) report() Report {
 		if j.slices > 0 {
 			r.Sliced++
 		}
+		if j.faults > 0 {
+			r.Faulted++
+		}
 		r.CheckpointOverhead += j.overhead
 		for _, seg := range j.History {
 			r.UserNodeTime[j.User] += time.Duration(seg.Alloc.Count) * (seg.End - seg.Start)
@@ -170,6 +204,26 @@ func (s *Scheduler) report() Report {
 			busy += b
 		}
 		r.Utilization = float64(busy) / (float64(r.Makespan) * float64(len(r.NodeBusy)))
+	}
+	// Fault availability and goodput: down time already settled plus
+	// still-down nodes clamped to the makespan.
+	r.NodeDownTime = s.downTime
+	for i := range s.downSince {
+		if s.downSince[i] >= 0 && r.Makespan > s.downSince[i] {
+			r.NodeDownTime += r.Makespan - s.downSince[i]
+		}
+	}
+	if r.Makespan > 0 {
+		if n := len(r.NodeBusy); n > 0 {
+			r.Availability = 1 - float64(r.NodeDownTime)/(float64(r.Makespan)*float64(n))
+		}
+		done := 0
+		for _, j := range r.Jobs {
+			if j.State == Done {
+				done++
+			}
+		}
+		r.Goodput = float64(done) / r.Makespan.Seconds()
 	}
 	return r
 }
@@ -256,6 +310,12 @@ func (r Report) String() string {
 	if r.HostSuspends > 0 {
 		fmt.Fprintf(&b, "  suspend-to-host: %d in-RAM suspensions, %d demoted to store (%v of store writes)\n",
 			r.HostSuspends, r.Demotions, RoundDuration(r.DemotionTime))
+	}
+	if r.NodeFaults > 0 || r.TrunkOutages > 0 {
+		fmt.Fprintf(&b, "  faults: %d node crashes, %d trunk outages, %d gang kills (%d jobs), lost work %v, %d proactive banks\n",
+			r.NodeFaults, r.TrunkOutages, r.FaultKills, r.Faulted, RoundDuration(r.LostWork), r.Banks)
+		fmt.Fprintf(&b, "  availability %.2f%%, goodput %.4f jobs/s, node down-time %v\n",
+			100*r.Availability, r.Goodput, RoundDuration(r.NodeDownTime))
 	}
 	if r.Policy == FairShare && len(r.UserNodeTime) > 0 {
 		users := make([]string, 0, len(r.UserNodeTime))

@@ -138,6 +138,22 @@ type Config struct {
 	// drains regardless of how the quantum compares to the
 	// checkpoint/restore cost. <= 0 disables time-slicing.
 	Quantum time.Duration
+	// Faults injects a failure schedule (fault.go): node crashes with
+	// repair times and whole-trunk outages become first-class events in
+	// the virtual-time loop. A crash kills every resident gang on the
+	// node; killed jobs restart from their last banked History boundary
+	// and the work destroyed since it is accounted in Report.LostWork.
+	// Nil or empty disables injection at zero cost.
+	Faults *FaultPlan
+	// CheckpointInterval enables periodic proactive checkpointing under
+	// fault injection: a running gang banks its progress (a checkpoint
+	// drain after which it keeps running on its nodes) whenever the
+	// interval elapses since its segment start, bounding the work a
+	// crash can destroy — the classic optimal-interval tradeoff between
+	// drain overhead and expected lost work. Only consulted when Faults
+	// is non-empty, so a fault-free run is bit-identical with the knob
+	// on or off. <= 0 disables proactive banking.
+	CheckpointInterval time.Duration
 	// CheckpointCost prices draining one job's per-node workload image
 	// at preemption; nil uses DefaultCheckpointCost over the paper's
 	// hardware model (AGP readback plus a Gigabit write to the
@@ -221,6 +237,17 @@ type Scheduler struct {
 	rec           Recorder             // lifecycle event sink; nil = recording off (obs.go)
 	met           *schedMetrics        // typed metric handles; nil = metrics off (metrics.go)
 	passes        int                  // scheduling passes taken (EvBlocked pass numbers)
+	faultEvs      []faultEvent         // compiled fault schedule, sorted (fault.go)
+	faultIdx      int                  // next fault event to apply
+	downSince     []time.Duration      // per node: instant it went down, -1 while up
+	downUntil     []time.Duration      // per node: scheduled repair instant while down
+	trunkBack     time.Duration        // scheduled end of the active trunk outage
+	nodeFaults    int                  // node-down events applied
+	trunkFaults   int                  // trunk outages applied
+	faultKills    int                  // gang kills caused by faults
+	banks         int                  // proactive checkpoints settled
+	lostWork      time.Duration        // wall time faults destroyed (Report.LostWork)
+	downTime      time.Duration        // total node-down time accrued so far
 }
 
 // New validates cfg and returns an empty scheduler.
@@ -252,6 +279,14 @@ func New(cfg Config) *Scheduler {
 	s.rec = cfg.Recorder
 	if cfg.Metrics != nil {
 		s.met = newSchedMetrics(cfg.Metrics, cfg.Policy, cfg.Placement)
+	}
+	if evs := cfg.Faults.compile(cfg.Cluster.Size()); len(evs) > 0 {
+		s.faultEvs = evs
+		s.downSince = make([]time.Duration, cfg.Cluster.Size())
+		s.downUntil = make([]time.Duration, cfg.Cluster.Size())
+		for i := range s.downSince {
+			s.downSince[i] = -1
+		}
 	}
 	return s
 }
@@ -341,6 +376,8 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.wavePending, j.waveLeft, j.waveFor = false, 0, nil
 	j.sliceEnd, j.sliceFull, j.slicing = false, 0, false
 	j.slices, j.rrStamp = 0, 0
+	j.faults, j.banks, j.lostWork = 0, 0, 0
+	j.ckptDue, j.banking, j.ckptSlice = false, false, 0
 	j.canceled = false
 	s.pending.push(j)
 	if j.arrive > s.now {
@@ -380,6 +417,7 @@ func (s *Scheduler) Run() Report {
 // driven clock — see RunUntil).
 func (s *Scheduler) Step() bool {
 	s.settleDemotions()
+	s.applyFaults()
 	s.schedulePass()
 	t, ok := s.nextEvent()
 	if !ok {
@@ -399,6 +437,7 @@ func (s *Scheduler) Step() bool {
 func (s *Scheduler) RunUntil(t time.Duration) {
 	for {
 		s.settleDemotions()
+		s.applyFaults()
 		s.schedulePass()
 		next, ok := s.nextEvent()
 		if !ok || next > t {
@@ -423,6 +462,14 @@ func (s *Scheduler) nextEvent() (time.Duration, bool) {
 	tNext, hasNext := s.arrivals.next(s.now, s.queuedLive)
 	if tDemote, ok := s.nextDemotion(); ok && (!hasNext || tDemote < tNext) {
 		tNext, hasNext = tDemote, true
+	}
+	// Fault events drive the clock only while work is outstanding: an
+	// idle scheduler does not tick through an empty storm tail, and
+	// skipped events catch up in order when work arrives (applyFaults).
+	if s.faultIdx < len(s.faultEvs) && s.outstandingWork() {
+		if tF := s.faultEvs[s.faultIdx].at; !hasNext || tF < tNext {
+			tNext, hasNext = tF, true
+		}
 	}
 	switch {
 	case tComplete >= 0 && (!hasNext || tComplete <= tNext):
@@ -462,12 +509,24 @@ func (s *Scheduler) advance(t time.Duration) {
 	s.now = t
 	for s.running.Len() > 0 && s.running[0].End == s.now {
 		j := s.runningPop()
-		if j.sliceEnd && !j.preempting {
+		switch {
+		case j.ckptDue && !j.preempting:
+			s.ckptBoundary(j)
+		case j.banking:
+			s.bankSettle(j)
+		case j.sliceEnd && !j.preempting:
 			s.sliceBoundary(j)
-			continue
+		default:
+			s.complete(j)
 		}
-		s.complete(j)
 	}
+}
+
+// outstandingWork reports whether any job still needs the clock: fault
+// events only advance time while this holds (nextEvent).
+func (s *Scheduler) outstandingWork() bool {
+	return s.pending.len() > 0 || s.running.Len() > 0 ||
+		len(s.demoting) > 0 || len(s.pinned) > 0
 }
 
 // schedulePass starts every job the policy allows at the current
@@ -801,6 +860,7 @@ func (s *Scheduler) tryStart(j *Job, backfilled bool, limit time.Duration, limit
 		j.End = s.now + j.segRestore + q
 		j.sliceEnd = true
 	}
+	s.armProactive(j)
 	if s.rec != nil {
 		s.record(Event{Time: s.now, Kind: EvDispatch, Job: j.ID, From: s.now + prefix, Alloc: alloc,
 			Detail: dispatchDetail(backfilled, migrate, readCost > 0, prefix)})
@@ -1060,8 +1120,8 @@ func (s *Scheduler) shadowStart(hd *Job) (shadow time.Duration) {
 // the property suite keeps it on (index_test.go).
 func (s *Scheduler) shadowStartLifted(hd *Job) time.Duration {
 	c := s.cfg.Cluster
-	if s.cfg.Placement == PlaceTopo && c.nConstrained == 0 &&
-		len(s.demoting) == 0 && len(s.pinned) == 0 && hd.memNeed <= c.baseMem {
+	if s.cfg.Placement == PlaceTopo && c.nConstrained == 0 && c.downCount == 0 &&
+		!c.trunkDown && len(s.demoting) == 0 && len(s.pinned) == 0 && hd.memNeed <= c.baseMem {
 		t := s.countShadow(hd)
 		if DebugVerifyShadows {
 			if r := s.replayShadow(hd); r != t {
@@ -1104,12 +1164,14 @@ func (s *Scheduler) replayShadow(hd *Job) time.Duration {
 		return s.now
 	}
 	type shadowEv struct {
-		t     time.Duration
-		r     *Job       // running gang ending (nodes free), or...
-		alloc Allocation // ...a reservation settling (memory unpins):
-		bytes int64      // a demotion write or a migration pin
+		t       time.Duration
+		r       *Job       // running gang ending (nodes free), or...
+		alloc   Allocation // ...a reservation settling (memory unpins):
+		bytes   int64      // a demotion write or a migration pin, or...
+		up      int        // ...a downed node repairing (node index + 1), or...
+		trunkUp bool       // ...the active trunk outage ending
 	}
-	evs := make([]shadowEv, 0, len(s.running)+len(s.demoting)+len(s.pinned))
+	evs := make([]shadowEv, 0, len(s.running)+len(s.demoting)+len(s.pinned)+c.downCount)
 	for _, r := range s.running {
 		evs = append(evs, shadowEv{t: r.End, r: r})
 	}
@@ -1119,6 +1181,21 @@ func (s *Scheduler) replayShadow(hd *Job) time.Duration {
 	for _, p := range s.pinned {
 		evs = append(evs, shadowEv{t: p.at, alloc: p.alloc, bytes: p.bytes})
 	}
+	// Currently-down nodes repair at their scheduled instants, and an
+	// active trunk outage ends at its scheduled instant — both grow
+	// capacity monotonically, so replaying them keeps per-event probing
+	// valid. Future faults are ignored: the shadow is the optimistic
+	// reservation, exactly as it already trusts running jobs' estimates.
+	if c.downCount > 0 {
+		for i := range s.downSince {
+			if s.downSince[i] >= 0 {
+				evs = append(evs, shadowEv{t: s.downUntil[i], up: i + 1})
+			}
+		}
+	}
+	if c.trunkDown {
+		evs = append(evs, shadowEv{t: s.trunkBack, trunkUp: true})
+	}
 	sort.SliceStable(evs, func(i, j int) bool {
 		if evs[i].t != evs[j].t {
 			return evs[i].t < evs[j].t
@@ -1127,23 +1204,30 @@ func (s *Scheduler) replayShadow(hd *Job) time.Duration {
 		// kind the stable sort keeps the deterministic source order.
 		return evs[i].r != nil && evs[j].r == nil
 	})
-	// canPlace consults the live reservation table, so settlements are
-	// simulated by lifting reservations in place and restoring them
-	// before returning.
+	// canPlace consults the live reservation table (and the trunk-outage
+	// flag), so settlements are simulated by lifting reservations in
+	// place and restoring them before returning.
 	var lifted []shadowEv
+	trunkWas := c.trunkDown
 	restore := func() {
 		for _, e := range lifted {
 			c.reserve(e.alloc, e.bytes)
 		}
+		c.trunkDown = trunkWas
 	}
 	for _, e := range evs {
-		if e.r != nil {
+		switch {
+		case e.r != nil:
 			for _, nr := range e.r.Alloc.Ranges {
 				for i := nr.First; i < nr.First+nr.Count; i++ {
 					used[i] = false
 				}
 			}
-		} else {
+		case e.up > 0:
+			used[e.up-1] = false
+		case e.trunkUp:
+			c.trunkDown = false
+		default:
 			c.unreserve(e.alloc, e.bytes)
 			lifted = append(lifted, e)
 		}

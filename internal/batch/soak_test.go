@@ -115,3 +115,48 @@ func TestSoakTraceReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestSoakStormReplay replays the bundled soak trace under a seeded
+// failure storm — hundreds of node crashes with repair times across the
+// multi-hour schedule, proactive checkpointing on — for every policy
+// with time-slicing, and asserts the fault invariants at soak scale:
+// every job still reaches a terminal state, busy time balances exactly
+// against work + overhead + lost work, no gang ever runs inside a down
+// window, and the storm demonstrably connected (gangs killed, banks
+// settled). TrunkSlowdown and Actual stay off so the balance is exact
+// rather than stretch-approximated.
+func TestSoakStormReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak storm replay skipped in -short mode")
+	}
+	recs, err := LoadTrace(soakPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := GenFaultPlan(soakSeed, soakNodes, 24*time.Hour, 4*time.Hour)
+	wins := planWindows(plan, soakNodes)
+	ck, rs := fixedCosts(time.Second, 500*time.Millisecond)
+	kills, banks := 0, 0
+	for _, pol := range Policies() {
+		jobs, _ := TraceJobs(recs, soakNodes)
+		s := New(Config{
+			Cluster:        newTestCluster(soakNodes),
+			Policy:         pol,
+			Quantum:        300 * time.Second,
+			CheckpointCost: ck,
+			RestoreCost:    rs,
+			Faults:         plan,
+			// The interval must undercut the 300s quantum: a proactive
+			// bank only arms when it lands before the slice boundary.
+			CheckpointInterval: 4 * time.Minute,
+		})
+		submitAll(t, s, jobs)
+		rep := s.Run()
+		k, b := checkFaultBalance(t, rep, len(recs), nil, wins)
+		kills += k
+		banks += b
+	}
+	if kills == 0 || banks == 0 {
+		t.Fatalf("vacuity: soak storm connected too little (%d kills, %d banks)", kills, banks)
+	}
+}
