@@ -1,0 +1,227 @@
+// Command batchlint is the driver for the batchlint analyzer suite
+// (internal/lint): the scheduler's invariant ledger, enforced in the
+// build instead of reviewer memory.
+//
+// It is a single binary speaking cmd/go's vettool protocol — the same
+// contract golang.org/x/tools/go/analysis/unitchecker implements, done
+// here with only the standard library so the repo keeps its
+// zero-dependency go.mod. go vet drives it once per package with a
+// JSON config file naming the sources and the export data of every
+// dependency:
+//
+//	go build -o bin/batchlint ./cmd/batchlint
+//	go vet -vettool=bin/batchlint ./...
+//
+// or, resolving the cached go-run binary:
+//
+//	go vet -vettool=$(go run ./cmd/batchlint -print-path) ./...
+//
+// Run with package patterns instead of a config file, it re-executes
+// itself under go vet, so a bare
+//
+//	go run ./cmd/batchlint ./...
+//
+// also works. Findings print as file:line:col: [analyzer] message and
+// exit with status 2, which fails go vet and therefore the CI lint
+// job.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"gpucluster/internal/lint"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for each vetted package
+// (the x/tools unitchecker.Config contract).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+	// The vettool handshake: cmd/go probes the tool's identity and
+	// flag surface before handing it packages.
+	for _, a := range args {
+		switch {
+		case a == "-V=full":
+			// The printed line becomes part of go vet's cache key.
+			fmt.Printf("batchlint version devel comments-go-here buildID=do-not-rely-on-this\n")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		case a == "-print-path":
+			exe, err := os.Executable()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "batchlint:", err)
+				os.Exit(1)
+			}
+			fmt.Println(exe)
+			return
+		case a == "-h" || a == "-help" || a == "--help":
+			usage(os.Stdout)
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	// Package patterns (or nothing): re-exec under go vet, which
+	// loads packages, builds export data, and calls back with configs.
+	os.Exit(runPatterns(args))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `batchlint enforces the batch scheduler's invariant ledger:
+
+`)
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, `
+usage:
+  batchlint [packages]              lint packages (runs go vet -vettool on itself)
+  go vet -vettool=batchlint ./...   the same, driven by go vet directly
+  batchlint -print-path             print this executable's path (for -vettool=$(...))
+
+Waive a finding in place, with a mandatory justification:
+  //batchlint:allow <analyzer> -- <why the rule does not apply here>
+`)
+}
+
+// runPatterns re-executes the tool under go vet for the given package
+// patterns.
+func runPatterns(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchlint:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "batchlint:", err)
+		return 1
+	}
+	return 0
+}
+
+// relevant reports whether any analyzer has rules for the package;
+// everything else is acknowledged (vetx written) without being parsed.
+func relevant(importPath string) bool {
+	return importPath == "gpucluster/internal/batch" ||
+		importPath == "gpucluster/internal/batch/server"
+}
+
+// runUnit handles one vet config invocation. Exit codes follow the
+// unitchecker contract: 0 clean, 1 tool/typecheck failure, 2 findings.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "batchlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the facts file to exist even though batchlint
+	// produces no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "batchlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || !relevant(cfg.ImportPath) {
+		return 0
+	}
+	findings, err := analyzeUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "batchlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	return 2
+}
+
+// analyzeUnit parses and type-checks the unit from the config —
+// dependencies come from the export data files cmd/go already built —
+// and runs the full analyzer suite.
+func analyzeUnit(cfg *vetConfig) ([]lint.Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(lint.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, lint.Analyzers())
+}

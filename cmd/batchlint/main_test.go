@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the batchlint binary once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "batchlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/batchlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolHandshake pins the identity probes cmd/go sends before
+// handing the tool any packages.
+func TestVettoolHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the tool")
+	}
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "batchlint version ") {
+		t.Fatalf("-V=full printed %q, want a version line", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags printed %q, want []", out)
+	}
+}
+
+// TestRepoVetsClean drives the real module through go vet -vettool:
+// the committed tree must produce no findings.
+func TestRepoVetsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vets the full module")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=batchlint ./...: %v\n%s", err, out)
+	}
+}
+
+// TestSeededViolationFailsVet plants a deliberate determinism
+// violation in a scratch module that reuses the real import path and
+// checks the vet run fails with the expected finding — the shape the
+// CI lint job relies on to gate merges.
+func TestSeededViolationFailsVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets a scratch module")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module gpucluster\n\ngo 1.23\n")
+	writeFile(t, filepath.Join(dir, "internal", "batch", "bad.go"), `package batch
+
+import "time"
+
+// Wall reads the wall clock inside the scheduler core: batchlint must
+// refuse it.
+func Wall() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("vet of seeded violation passed; want findings\n%s", out)
+	}
+	for _, wanted := range []string{"[determinism]", "time.Now reads the wall clock"} {
+		if !strings.Contains(string(out), wanted) {
+			t.Errorf("vet output missing %q:\n%s", wanted, out)
+		}
+	}
+}
+
+// TestSeededViolationAllowed re-runs the scratch-module scenario with
+// a justified //batchlint:allow: the escape hatch must make the same
+// tree pass.
+func TestSeededViolationAllowed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets a scratch module")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module gpucluster\n\ngo 1.23\n")
+	writeFile(t, filepath.Join(dir, "internal", "batch", "bad.go"), `package batch
+
+import "time"
+
+// Wall samples the wall clock for an external gauge.
+func Wall() time.Duration {
+	t0 := time.Now() //batchlint:allow determinism -- scratch fixture: observation only, never scheduled on
+	return time.Since(t0) //batchlint:allow determinism -- closes the sample above
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("vet of allowed violation failed: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -96,6 +96,7 @@ func (s *Scheduler) chargeUsage(u string, nodeTime time.Duration) {
 	}
 	if drift := s.now - s.fsEpoch; drift > fsRenormEpochs*s.halfLife() {
 		scale := math.Exp2(-float64(drift) / hl)
+		//batchlint:allow determinism -- uniform rescale of every account; commutative, no iteration order escapes
 		for _, other := range s.usage {
 			other.key *= scale
 		}
@@ -126,6 +127,7 @@ func (s *Scheduler) fsOrderChanged(a *usage, oldKey float64) bool {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	//batchlint:allow determinism -- any-order existence scan folding to one bool; order cannot change the result
 	for _, other := range s.usage {
 		if other == a {
 			continue

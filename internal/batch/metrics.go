@@ -53,6 +53,7 @@ func labelString(ls Labels) string {
 		return ""
 	}
 	keys := make([]string, 0, len(ls))
+	//batchlint:allow determinism -- keys are collected and sorted on the next line; the rendered signature is canonical
 	for k := range ls {
 		keys = append(keys, k)
 	}
@@ -422,6 +423,7 @@ func (m *schedMetrics) usageGauge(user string) *Gauge {
 		return g
 	}
 	ls := Labels{"user": user}
+	//batchlint:allow determinism -- map-to-map copy; labelString canonicalizes by sorted key before anything renders
 	for k, v := range m.base {
 		ls[k] = v
 	}

@@ -319,6 +319,7 @@ func (r Report) String() string {
 	}
 	if r.Policy == FairShare && len(r.UserNodeTime) > 0 {
 		users := make([]string, 0, len(r.UserNodeTime))
+		//batchlint:allow determinism -- keys are collected and sorted on the next line before the fair-share block renders
 		for u := range r.UserNodeTime {
 			users = append(users, u)
 		}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch. A finding is expected sometimes — the wall-clock
+// sample in schedulePass really is gated on an attached metrics
+// registry, the record forwarder really is the one unguarded s.rec
+// dereference — and the ledger wants those exceptions audited, not
+// silenced. The directive
+//
+//	//batchlint:allow <analyzer> -- <justification>
+//
+// placed on the offending line (trailing) or on its own line directly
+// above suppresses that analyzer's findings there. The justification
+// after " -- " is required; collectAllows records directives without
+// one so Run can flag them.
+
+type allowDirective struct {
+	analyzer string    // named analyzer ("" when malformed)
+	reason   string    // justification after " -- " ("" when bare)
+	file     string    // filename the directive appears in
+	line     int       // line of the directive comment
+	pos      token.Pos // position for reporting directive misuse
+}
+
+type allowSet []allowDirective
+
+const allowPrefix = "batchlint:allow"
+
+// collectAllows gathers every batchlint:allow directive in the unit.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	var out allowSet
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				d := allowDirective{
+					file: fset.Position(c.Pos()).Filename,
+					line: fset.Position(c.Pos()).Line,
+					pos:  c.Pos(),
+				}
+				// "//batchlint:allowx" is not the directive.
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue
+				}
+				name, rest, found := strings.Cut(strings.TrimSpace(text), " ")
+				d.analyzer = strings.TrimSpace(name)
+				if found {
+					if reason, hasReason := strings.CutPrefix(strings.TrimSpace(rest), "--"); hasReason {
+						d.reason = strings.TrimSpace(reason)
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether a justified directive for the analyzer
+// covers the finding at pos: same file, same line (trailing comment)
+// or the line above (own-line comment).
+func (s allowSet) suppresses(analyzer string, pos token.Position) bool {
+	for _, d := range s {
+		if d.analyzer != analyzer || d.reason == "" || d.file != pos.Filename {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

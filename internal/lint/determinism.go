@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gpucluster/internal/lint/analysis"
+)
+
+// Determinism enforces the ledger's bit-for-bit replay contract on the
+// scheduler core (gpucluster/internal/batch, excluding engine.go —
+// the wall-clock seam — and the server transport, which is a
+// different package): no wall-clock reads (time.Now/Since/Until), no
+// global or unseeded math/rand (only explicit rand.New(rand.NewSource
+// (seed)) constructions), and no ranging over maps — iteration order
+// is randomized per run and any map walk in the core can leak into an
+// Event stream, a Report, or queue ordering. Order-independent folds
+// over maps are waived in place with a justified //batchlint:allow.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand, and map iteration in the scheduler core; " +
+		"the virtual-time event loop must replay bit for bit",
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the package time functions that read the wall
+// clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand entry points that take an
+// explicit, seedable source and therefore stay deterministic.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 equivalents.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if !scopePkg(pass.Pkg, batchPkgPath, pass.Analyzer.Name) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) || pass.FileName(f) == "engine.go" {
+			// Tests may measure wall time; engine.go owns the
+			// WallClock seam by design (docs/ARCHITECTURE.md).
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				if obj.Signature().Recv() != nil {
+					return true // methods (e.g. (*rand.Rand).Intn) are seeded
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock in the scheduler core; use virtual time (s.now) or gate on an attached metrics registry", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[obj.Name()] {
+						pass.Reportf(n.Pos(), "global rand.%s is process-seeded and breaks replay; use rand.New(rand.NewSource(seed))", obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration order is randomized and can reach an Event stream, Report, or queue ordering; iterate sorted keys or justify with //batchlint:allow determinism -- <why order cannot escape>")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gpucluster/internal/lint/analysis"
+)
+
+// LockHeld enforces the Engine/transport concurrency contract
+// (docs/ARCHITECTURE.md "Engine and transport"):
+//
+//  1. Every exported method on batch.Engine that touches the wrapped
+//     scheduler (the e.s field) must acquire e.mu.Lock() first —
+//     lexically before the first e.s use. Unexported helpers are the
+//     documented "callers hold e.mu" tier and are exempt.
+//  2. The server package must never drive the Scheduler directly: no
+//     method calls on a batch.Scheduler value and no NewScheduler
+//     construction — everything goes through Engine, whose mutex and
+//     Clock are what keep queries from advancing virtual time.
+var LockHeld = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "exported Engine methods must hold e.mu before touching scheduler state; " +
+		"the server package drives the scheduler only through Engine",
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *analysis.Pass) error {
+	if scopePkg(pass.Pkg, batchPkgPath, pass.Analyzer.Name) {
+		checkEngineLocking(pass)
+	}
+	if pass.Pkg != nil && (pass.Pkg.Path() == serverPkgPath || strings.HasPrefix(pass.Pkg.Path(), pass.Analyzer.Name+"srv")) {
+		checkServerBoundary(pass)
+	}
+	return nil
+}
+
+// checkEngineLocking applies rule 1 to every exported *Engine method.
+func checkEngineLocking(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv, ok := receiverName(fd, "Engine")
+			if !ok {
+				continue
+			}
+			firstUse := firstStateUse(fd.Body, recv)
+			if firstUse == nil {
+				continue
+			}
+			if !lockedBefore(fd.Body, recv, firstUse.Pos()) {
+				pass.Reportf(firstUse.Pos(), "exported Engine method %s touches scheduler state (%s.s) without first acquiring %s.mu.Lock(); queries and ingests race the pump without it", fd.Name.Name, recv, recv)
+			}
+		}
+	}
+}
+
+// receiverName returns the receiver identifier of a method on the
+// named type (value or pointer receiver).
+func receiverName(fd *ast.FuncDecl, typeName string) (string, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	field := fd.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok || id.Name != typeName || len(field.Names) != 1 {
+		return "", false
+	}
+	return field.Names[0].Name, true
+}
+
+// firstStateUse finds the lexically first selection of the scheduler
+// field (recv.s) in the body.
+func firstStateUse(body *ast.BlockStmt, recv string) ast.Node {
+	var first ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first != nil {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "s" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			first = sel
+			return false
+		}
+		return true
+	})
+	return first
+}
+
+// lockedBefore reports whether a recv.mu.Lock() call appears lexically
+// before limit in the body.
+func lockedBefore(body *ast.BlockStmt, recv string, limit token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= limit {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		mu, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || mu.Sel.Name != "mu" {
+			return true
+		}
+		if id, ok := mu.X.(*ast.Ident); ok && id.Name == recv {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkServerBoundary applies rule 2: inside the transport package,
+// flag method calls on batch.Scheduler values and NewScheduler
+// construction.
+func checkServerBoundary(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.MethodVal {
+					return true
+				}
+				if named := namedRecv(selection.Recv()); named != nil &&
+					named.Obj().Name() == "Scheduler" && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "batch" {
+					pass.Reportf(n.Pos(), "server must not call Scheduler.%s directly; route through Engine so e.mu and the Clock stay authoritative", sel.Sel.Name)
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok &&
+					fn.Name() == "NewScheduler" && fn.Pkg() != nil && fn.Pkg().Name() == "batch" {
+					pass.Reportf(n.Pos(), "server must not construct a raw Scheduler; use batch.NewEngine")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// namedRecv unwraps a method receiver type to its named type.
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gpucluster/internal/lint/analysis"
+)
+
+// RecorderGuard protects the pinned zero-alloc nil-recorder path
+// (obs.go, TestPassOnceZeroAllocNilRecorder). Two rules:
+//
+//  1. Every recorder hook call — s.rec.<Method>(...) or the
+//     s.record(...) forwarder — must be dominated by an s.rec != nil
+//     check: either lexically inside an `if s.rec != nil { ... }`
+//     branch (including else-if chains and `if s.rec == nil` else
+//     arms) or after an `if s.rec == nil { return }` early exit in the
+//     same block.
+//  2. Hook arguments must not format or convert at the call site: the
+//     Event literal's Detail field must be a constant string, a local
+//     assembled from constants, or a call to one of the audited
+//     constant-returning helpers (dispatchDetail, drainDetail) — and
+//     no fmt/strconv call may appear anywhere in a hook's arguments.
+//     The golden Chrome-trace test pins these labels, and anything
+//     dynamic here would allocate on the recording path.
+var RecorderGuard = &analysis.Analyzer{
+	Name: "recorderguard",
+	Doc: "recorder hooks must be dominated by an s.rec != nil check and pass only " +
+		"constant/preallocated details (zero-alloc nil path)",
+	Run: runRecorderGuard,
+}
+
+// detailHelpers are the audited helpers that return only constant
+// strings (their bodies are switch/return over literals).
+var detailHelpers = map[string]bool{"dispatchDetail": true, "drainDetail": true}
+
+func runRecorderGuard(pass *analysis.Pass) error {
+	if !scopePkg(pass.Pkg, batchPkgPath, pass.Analyzer.Name) {
+		return nil
+	}
+	w := &recWalker{pass: pass}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.stmts(fd.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+// gset is the set of recorder owners (rendered expressions like
+// "s.rec") proven non-nil in the current lexical context.
+type gset map[string]bool
+
+func (g gset) with(owners []string) gset {
+	if len(owners) == 0 {
+		return g
+	}
+	out := make(gset, len(g)+len(owners))
+	for k := range g {
+		out[k] = true
+	}
+	for _, o := range owners {
+		out[o] = true
+	}
+	return out
+}
+
+type recWalker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement sequence, threading the guard set: an
+// `if x.rec == nil { return }` statement guards everything after it in
+// the same sequence.
+func (w *recWalker) stmts(list []ast.Stmt, g gset) {
+	for _, s := range list {
+		g = w.stmt(s, g)
+	}
+}
+
+// stmt walks one statement under guard set g and returns the guard set
+// for the statements that follow it in the same sequence.
+func (w *recWalker) stmt(s ast.Stmt, g gset) gset {
+	switch s := s.(type) {
+	case nil:
+		return g
+	case *ast.BlockStmt:
+		w.stmts(s.List, g)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, g)
+		}
+		w.expr(s.Cond, g)
+		pos := recCondOwners(s.Cond, token.NEQ)
+		neg := recCondOwners(s.Cond, token.EQL)
+		w.stmts(s.Body.List, g.with(pos))
+		if s.Else != nil {
+			// The else arm of `if x.rec == nil` holds the recorder.
+			w.stmt(s.Else, g.with(neg))
+		} else if len(neg) > 0 && terminates(s.Body) {
+			return g.with(neg)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, g)
+		w.expr(s.Cond, g)
+		w.stmt(s.Post, g)
+		w.stmts(s.Body.List, g)
+	case *ast.RangeStmt:
+		w.expr(s.X, g)
+		w.stmts(s.Body.List, g)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, g)
+		w.expr(s.Tag, g)
+		w.stmts(s.Body.List, g)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, g)
+		w.stmt(s.Assign, g)
+		w.stmts(s.Body.List, g)
+	case *ast.SelectStmt:
+		w.stmts(s.Body.List, g)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, g)
+		}
+		w.stmts(s.Body, g)
+	case *ast.CommClause:
+		w.stmt(s.Comm, g)
+		w.stmts(s.Body, g)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, g)
+	case *ast.ExprStmt:
+		w.expr(s.X, g)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, g)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, g)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, g)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call, g)
+	case *ast.GoStmt:
+		w.expr(s.Call, g)
+	case *ast.SendStmt:
+		w.expr(s.Chan, g)
+		w.expr(s.Value, g)
+	case *ast.IncDecStmt:
+		w.expr(s.X, g)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, g)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// expr scans an expression for recorder hook calls, checking each
+// against the current guard set. Function literals inherit the lexical
+// guard set — they only run where they are built in this codebase.
+func (w *recWalker) expr(e ast.Expr, g gset) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, g)
+			return false
+		case *ast.CallExpr:
+			if owner, ok := hookOwner(n); ok {
+				if !g[owner] {
+					w.pass.Reportf(n.Pos(), "recorder hook must be dominated by a %s != nil check (zero-alloc nil path); wrap in `if %s != nil { ... }` or bail early with `if %s == nil { return }`", owner, owner, owner)
+				}
+				w.checkHookArgs(n)
+			}
+		}
+		return true
+	})
+}
+
+// hookOwner reports whether call is a recorder hook and names the
+// recorder expression that must be proven non-nil: "s.rec" for both
+// s.rec.Record(...) and the s.record(...) forwarder.
+func hookOwner(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "rec" {
+		return types.ExprString(inner.X) + ".rec", true
+	}
+	if sel.Sel.Name == "record" {
+		return types.ExprString(sel.X) + ".rec", true
+	}
+	return "", false
+}
+
+// recCondOwners extracts recorder expressions compared against nil
+// with the given operator from a guard condition, descending into &&
+// conjunctions.
+func recCondOwners(cond ast.Expr, op token.Token) []string {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return append(recCondOwners(c.X, op), recCondOwners(c.Y, op)...)
+		}
+		if c.Op != op {
+			return nil
+		}
+		x, y := ast.Unparen(c.X), ast.Unparen(c.Y)
+		if isNilIdent(y) {
+			if owner, ok := recExpr(x); ok {
+				return []string{owner}
+			}
+		}
+		if isNilIdent(x) {
+			if owner, ok := recExpr(y); ok {
+				return []string{owner}
+			}
+		}
+	}
+	return nil
+}
+
+// recExpr reports whether e is a selection of a field named rec, and
+// renders it ("s.rec") as the guard-set key.
+func recExpr(e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "rec" {
+		return "", false
+	}
+	return types.ExprString(sel), true
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block's last statement unconditionally
+// leaves it: the `if s.rec == nil { return }` early-exit shape.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkHookArgs enforces rule 2 on a guarded hook call: constant-only
+// Detail fields and no formatting anywhere in the arguments.
+func (w *recWalker) checkHookArgs(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Detail" && !w.detailOK(kv.Value) {
+						w.pass.Reportf(kv.Value.Pos(), "recorder Detail must be a constant string, a local assembled from constants, or dispatchDetail/drainDetail; dynamic labels allocate on the recording path and break the golden trace")
+					}
+				}
+			case *ast.CallExpr:
+				if obj := calleeFunc(w.pass, n); obj != nil && obj.Pkg() != nil {
+					switch obj.Pkg().Path() {
+					case "fmt", "strconv":
+						w.pass.Reportf(n.Pos(), "%s.%s formats inside a recorder hook argument; precompute outside the hook or use a constant label", obj.Pkg().Name(), obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// detailOK reports whether a Detail value is constant-like: a typed or
+// untyped constant (literals and constant concatenations fold), a
+// plain identifier (a local the surrounding guarded block assembled
+// from constants), or a call to an audited constant-returning helper.
+func (w *recWalker) detailOK(v ast.Expr) bool {
+	if tv, ok := w.pass.TypesInfo.Types[v]; ok && tv.Value != nil {
+		return true
+	}
+	switch v := ast.Unparen(v).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && detailHelpers[id.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's callee to its function object, when it
+// is a simple identifier or selector call.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gpucluster/internal/lint"
+	"gpucluster/internal/lint/linttest"
+)
+
+// TestRepoClean loads the real scheduler core and transport from
+// source — in-package test files included, the same unit cmd/go hands
+// the vettool — and runs the full batchlint suite. The tree must be
+// clean: every rule the fixtures prove also holds on the code it was
+// written for, with no false positives, and every in-tree
+// //batchlint:allow carries its justification.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module from source")
+	}
+	l := linttest.NewLoader(map[string]string{
+		"gpucluster/": filepath.Join("..", ".."),
+		"":            filepath.Join("testdata", "src"),
+	})
+	for _, path := range []string{
+		"gpucluster/internal/batch",
+		"gpucluster/internal/batch/server",
+	} {
+		unit, err := l.Load(path, true)
+		if err != nil {
+			t.Fatalf("%s: load: %v", path, err)
+		}
+		findings, err := lint.Run(unit, lint.Analyzers())
+		if err != nil {
+			t.Fatalf("%s: run: %v", path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+}

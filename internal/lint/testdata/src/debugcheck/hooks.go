@@ -1,0 +1,13 @@
+// Package debugcheck is the batchlint debugcheck fixture: tests that
+// sweep the shared propertyConfigs matrix must arm a debug hook.
+package debugcheck
+
+var debugCheckIndex bool
+
+var DebugVerifyShadows bool
+
+type config struct{ policy int }
+
+func propertyConfigs() []config {
+	return []config{{0}, {1}}
+}

@@ -1,0 +1,31 @@
+package debugcheck
+
+func TestSweepArmed() {
+	debugCheckIndex = true
+	defer func() { debugCheckIndex = false }()
+	for range propertyConfigs() {
+	}
+}
+
+func TestSweepBothArmed() {
+	debugCheckIndex = true
+	DebugVerifyShadows = true
+	defer func() { debugCheckIndex = false; DebugVerifyShadows = false }()
+	for range propertyConfigs() {
+	}
+}
+
+func TestSweepUnarmed() { // want `TestSweepUnarmed sweeps propertyConfigs without arming`
+	for range propertyConfigs() {
+	}
+}
+
+//batchlint:allow debugcheck -- fixture: TestSweepArmed runs this matrix with the index check armed
+func TestSweepCovered() {
+	for range propertyConfigs() {
+	}
+}
+
+func TestUnrelated() {
+	_ = 1 + 2
+}

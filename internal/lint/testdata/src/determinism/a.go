@@ -1,0 +1,58 @@
+// Package determinism is the batchlint determinism fixture: wall-clock
+// reads, global math/rand, and map iteration are flagged; seeded
+// constructors, rand methods, and justified allows are not. The
+// directive-hygiene cases (bare allow, unknown analyzer) ride along
+// because Run reports them on any unit.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sched struct {
+	now   time.Duration
+	seats map[string]int
+	rng   *rand.Rand
+}
+
+func (s *sched) wall() time.Duration {
+	t := time.Now()            // want `time\.Now reads the wall clock`
+	_ = time.Since(t)          // want `time\.Since reads the wall clock`
+	_ = time.Until(t)          // want `time\.Until reads the wall clock`
+	_ = t.Sub(time.Time{})     // methods on time.Time are fine
+	_ = time.Duration(3).Abs() // so are methods on Duration
+	return s.now
+}
+
+func (s *sched) gatedWall() {
+	// A justified trailing allow suppresses the finding on its line.
+	_ = time.Now() //batchlint:allow determinism -- fixture: gated wall sample, observes only
+}
+
+func (s *sched) noise() int {
+	n := rand.Intn(5)                  // want `global rand\.Intn is process-seeded and breaks replay`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle is process-seeded and breaks replay`
+	r := rand.New(rand.NewSource(42))  // seeded constructor: fine
+	s.rng = r
+	return r.Intn(5) // method on a seeded *rand.Rand: fine
+}
+
+func (s *sched) walk() int {
+	total := 0
+	for _, v := range s.seats { // want `map iteration order is randomized`
+		total += v
+	}
+	//batchlint:allow determinism -- fixture: order-independent fold to a sum
+	for _, v := range s.seats {
+		total += v
+	}
+	for _, v := range []int{1, 2} { // slice range: fine
+		total += v
+	}
+	return total
+}
+
+//batchlint:allow determinism want "needs a justification"
+
+//batchlint:allow nosuchcheck -- reasoned, but want "unknown analyzer nosuchcheck"

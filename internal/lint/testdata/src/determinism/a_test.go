@@ -1,0 +1,8 @@
+package determinism
+
+import "time"
+
+// Test files may measure wall time: the analyzer skips them.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,9 @@
+package determinism
+
+import "time"
+
+// engine.go is the wall-clock seam by design: the analyzer skips it,
+// so none of these report.
+func engineNow() time.Time {
+	return time.Now()
+}

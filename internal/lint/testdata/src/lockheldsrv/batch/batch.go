@@ -1,0 +1,16 @@
+// Package batch is the scheduler stand-in the lockheldsrv fixture
+// drives: the boundary rule keys on the package name ("batch") and the
+// Scheduler/NewScheduler names.
+package batch
+
+type Scheduler struct{ tick int }
+
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+func (s *Scheduler) Run() int { s.tick++; return s.tick }
+
+type Engine struct{ s *Scheduler }
+
+func NewEngine() *Engine { return &Engine{s: NewScheduler()} }
+
+func (e *Engine) Run() int { return e.s.Run() }

@@ -1,0 +1,25 @@
+// Package lockheldsrv is the batchlint server-boundary fixture: the
+// transport drives the scheduler only through Engine.
+package lockheldsrv
+
+import "lockheldsrv/batch"
+
+type handler struct {
+	e *batch.Engine
+	s *batch.Scheduler
+}
+
+func (h *handler) step() int {
+	return h.s.Run() // want `server must not call Scheduler\.Run directly`
+}
+
+func (h *handler) good() int {
+	return h.e.Run()
+}
+
+func newHandler() *handler {
+	return &handler{
+		e: batch.NewEngine(),
+		s: batch.NewScheduler(), // want `server must not construct a raw Scheduler`
+	}
+}

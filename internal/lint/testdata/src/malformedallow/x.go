@@ -1,0 +1,6 @@
+// Package malformedallow holds a directive naming no analyzer: Run
+// must flag it rather than silently suppressing nothing.
+package malformedallow
+
+//batchlint:allow
+func noop() {}

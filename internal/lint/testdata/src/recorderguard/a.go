@@ -1,0 +1,79 @@
+// Package recorderguard is the batchlint recorderguard fixture: every
+// hook call must be dominated by a rec != nil check, and hook
+// arguments must stay constant/preallocated.
+package recorderguard
+
+import "fmt"
+
+type Event struct {
+	Kind   int
+	Detail string
+}
+
+type Recorder struct{ n int }
+
+func (r *Recorder) Record(ev Event) { r.n++ }
+
+type S struct {
+	rec  *Recorder
+	name string
+}
+
+const evLabel = "dispatch"
+
+func dispatchDetail(kind int) string {
+	if kind == 0 {
+		return "drain"
+	}
+	return "demand"
+}
+
+func makeLabel(s string) string { return s + "!" }
+
+// The forwarder itself dereferences without a guard: flagged, exactly
+// like the real obs.go forwarder before its audited allow.
+func (s *S) record(ev Event) {
+	s.rec.Record(ev) // want `dominated by a s\.rec != nil check`
+}
+
+func (s *S) bad() {
+	s.rec.Record(Event{Detail: evLabel}) // want `dominated by a s\.rec != nil check`
+	s.record(Event{Detail: evLabel})     // want `dominated by a s\.rec != nil check`
+}
+
+func (s *S) guarded(busy bool, kind int) {
+	if s.rec != nil {
+		s.rec.Record(Event{Detail: evLabel})
+		s.record(Event{Detail: evLabel})
+	}
+	if busy && s.rec != nil {
+		s.rec.Record(Event{Detail: dispatchDetail(kind)})
+	}
+	if s.rec == nil {
+		busy = !busy
+	} else {
+		s.rec.Record(Event{Detail: evLabel})
+	}
+}
+
+func (s *S) early(kind int) {
+	if s.rec == nil {
+		return
+	}
+	label := evLabel
+	s.rec.Record(Event{Kind: kind, Detail: label})
+	flush := func() { s.rec.Record(Event{Detail: evLabel}) } // FuncLit inherits the lexical guard
+	flush()
+}
+
+func (s *S) dynamic(n int) {
+	if s.rec != nil {
+		s.rec.Record(Event{Detail: makeLabel(s.name)})        // want `Detail must be a constant string`
+		s.rec.Record(Event{Detail: fmt.Sprintf("job %d", n)}) // want `Detail must be a constant string` `fmt\.Sprintf formats inside a recorder hook argument`
+	}
+}
+
+func (s *S) audited() {
+	//batchlint:allow recorderguard -- fixture: the audited single unguarded deref
+	s.rec.Record(Event{Detail: evLabel})
+}
